@@ -1,0 +1,130 @@
+// Experiment F12 — Ablation of UniKV's design contributions.
+//
+// Each row disables one technique from the paper and reruns the core
+// phases. Expected shape: no-hash-index hurts point reads; no-KV-
+// separation inflates merge writes (write amp); no-partitioning makes
+// merges grow with DB size (load slows as data accumulates); no-scan-
+// optimization hurts scans.
+
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  void (*apply)(Options*);
+};
+
+const Variant kVariants[] = {
+    {"full UniKV", [](Options*) {}},
+    {"no hash index",
+     [](Options* o) { o->enable_hash_index = false; }},
+    {"no KV separation",
+     [](Options* o) { o->enable_kv_separation = false; }},
+    {"no partitioning",
+     [](Options* o) { o->enable_partitioning = false; }},
+    {"no scan opts",
+     [](Options* o) { o->enable_scan_optimization = false; }},
+};
+
+}  // namespace
+
+int main() {
+  const std::string root = BenchRoot("ablation");
+  const uint64_t kKeys = Scaled(25000);
+  const size_t kValueSize = 1024;
+
+  PrintTableHeader("F12 UniKV ablation (dataset " + std::to_string(kKeys) +
+                       " x 1KiB)",
+                   {"variant", "load kops/s", "write_amp", "read kops/s",
+                    "scan kentr/s"});
+  for (const Variant& variant : kVariants) {
+    Options opt = BenchOptions();
+    variant.apply(&opt);
+    BenchDb bdb(Engine::kUniKV, opt, root);
+
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    PhaseResult lr = RunLoad(&bdb, load);
+
+    // Refresh a hot subset WITHOUT compacting, so the recently written
+    // data sits in the UnsortedStore — the hash index's domain (reads of
+    // merged-down data go through the SortedStore path regardless of the
+    // index, so reading right after CompactAll would measure nothing).
+    const uint64_t kHot = kKeys / 8;  // ~3 MiB: stays under unsorted_limit.
+    for (uint64_t i = 0; i < kHot; i++) {
+      // Ids 0..kHot are exactly the zipfian-hot prefix the reads favor.
+      bdb.db()->Put(WriteOptions(), KeyGenerator::Key(i),
+                    MakeValue(i, kValueSize));
+    }
+    bdb.db()->FlushMemTable();
+
+    PointReadSpec reads;
+    reads.num_ops = Scaled(10000);
+    reads.key_space = kKeys;
+    reads.dist = Distribution::kZipfian;
+    reads.value_size = kValueSize;
+    PhaseResult rr = RunPointReads(&bdb, reads);
+
+    ScanSpec scans;
+    scans.num_ops = Scaled(200);
+    scans.scan_len = 100;
+    scans.key_space = kKeys;
+    PhaseResult sr = RunScans(&bdb, scans);
+
+    PrintTableRow({variant.name, Fmt(lr.kops_per_sec), Fmt(lr.write_amp, 2),
+                   Fmt(rr.kops_per_sec), Fmt(sr.kops_per_sec)});
+  }
+
+  // F12b: the hash index's value grows with the number of overlapping
+  // UnsortedStore tables (the paper's UnsortedStore holds up to 128 GiB /
+  // 2 MiB tables; "existing KV stores check 7.6 SSTables per lookup").
+  // Without the index a lookup probes tables newest-to-oldest; with it,
+  // one candidate probe. Sweep the table count with consolidation off.
+  PrintTableHeader("F12b point reads vs overlapping UnsortedStore tables",
+                   {"tables", "with index", "without", "(kops/s)"});
+  for (int tables : {2, 8, 24}) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(tables));
+    for (bool with_index : {true, false}) {
+      Options opt = BenchOptions();
+      opt.unsorted_limit = 256ull * 1024 * 1024;  // No merges.
+      opt.scan_merge_limit = 1 << 20;             // No consolidation.
+      opt.enable_hash_index = with_index;
+      opt.index_expected_entry_size = kValueSize;
+      BenchDb bdb(Engine::kUniKV, opt, root);
+
+      // Each flush writes ~1000 random keys spanning the whole range, so
+      // every table overlaps every other.
+      const uint64_t kRange = 10000;
+      Random rnd(42);  // Same sequence for both variants.
+      for (int t = 0; t < tables; t++) {
+        for (int j = 0; j < 1000; j++) {
+          uint64_t id = rnd.Next64() % kRange;
+          bdb.db()->Put(WriteOptions(), KeyGenerator::Key(id),
+                        MakeValue(id ^ t, kValueSize));
+        }
+        bdb.db()->FlushMemTable();
+      }
+
+      Env* env = Env::Default();
+      Random read_rnd(7);
+      std::string value;
+      const uint64_t kReads = Scaled(10000);
+      uint64_t t0 = env->NowMicros();
+      for (uint64_t i = 0; i < kReads; i++) {
+        bdb.db()->Get(ReadOptions(),
+                      KeyGenerator::Key(read_rnd.Next64() % kRange), &value);
+      }
+      double secs = (env->NowMicros() - t0) / 1e6;
+      row.push_back(Fmt(kReads / secs / 1000.0));
+    }
+    row.push_back("");
+    PrintTableRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment T4 — Hash-index memory overhead.
+//
+// Paper: each UnsortedStore entry costs one 8-byte index entry; for 1 GiB
+// of 1 KiB KVs that is ~10 MiB (<1% of data) at ~80% bucket utilization.
+// This bench loads data kept entirely in the UnsortedStore and reports
+// bytes/entry, utilization and the index:data ratio.
+
+#include "bench_common.h"
+
+#include "core/db.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("memory");
+
+  PrintTableHeader("T4 hash index memory overhead",
+                   {"value_size", "entries", "index_KiB", "bytes/entry",
+                    "index/data %"});
+  for (size_t value_size : {256, 1024, 4096}) {
+    Options opt = BenchOptions();
+    // Size the UnsortedStore (and thus the index's expected-entry
+    // capacity) to the data we will actually hold, as a deployment
+    // tuning UnsortedLimit to its memory budget would.
+    const uint64_t data_target = Scaled(16 * 1024 * 1024);
+    opt.unsorted_limit = data_target + data_target / 4;
+    opt.partition_size_limit = 4ull * 1024 * 1024 * 1024;
+    opt.scan_merge_limit = 1 << 20;
+    opt.index_expected_entry_size = value_size;
+    BenchDb bdb(Engine::kUniKV, opt, root);
+
+    const uint64_t keys = data_target / value_size;
+    uint64_t data_bytes = 0;
+    for (uint64_t i = 0; i < keys; i++) {
+      std::string key = KeyGenerator::Key(i);
+      std::string value = MakeValue(i, value_size);
+      data_bytes += key.size() + value.size();
+      bdb.db()->Put(WriteOptions(), key, value);
+    }
+    bdb.db()->FlushMemTable();
+
+    std::string entries = "0", bytes = "0";
+    bdb.db()->GetProperty("db.hash-index-entries", &entries);
+    bdb.db()->GetProperty("db.hash-index-bytes", &bytes);
+    double n = std::stod(entries);
+    double b = std::stod(bytes);
+    PrintTableRow({std::to_string(value_size), entries, Fmt(b / 1024, 1),
+                   Fmt(n > 0 ? b / n : 0, 2),
+                   Fmt(data_bytes > 0 ? 100.0 * b / data_bytes : 0, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Experiment F9 — Mixed read/write ratio sweep (the paper's headline:
+// total throughput under read-write mixed workloads).
+//
+// Expected shape: UniKV leads across the whole sweep because it combines
+// the hash index's fast reads on hot data with log-structured writes;
+// LeveledLSM loses on the write-heavy end (compaction), TieredLSM loses
+// on the read-heavy end (many runs per lookup).
+
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("mixed");
+  const uint64_t kKeys = Scaled(20000);
+  const size_t kValueSize = 1024;
+
+  PrintTableHeader("F9 mixed zipfian workload, ops=" +
+                       std::to_string(Scaled(30000)),
+                   {"read%", "UniKV", "LeveledLSM", "TieredLSM", "(kops/s)"});
+  for (double read_fraction : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    std::vector<std::string> row;
+    row.push_back(Fmt(read_fraction * 100, 0));
+    for (Engine engine :
+         {Engine::kUniKV, Engine::kLeveled, Engine::kTiered}) {
+      BenchDb bdb(engine, BenchOptions(), root);
+      LoadSpec load;
+      load.num_keys = kKeys;
+      load.value_size = kValueSize;
+      RunLoad(&bdb, load);
+
+      MixedSpec spec;
+      spec.num_ops = Scaled(30000);
+      spec.key_space = kKeys;
+      spec.value_size = kValueSize;
+      spec.read_fraction = read_fraction;
+      PhaseResult r = RunMixed(&bdb, spec);
+      row.push_back(Fmt(r.kops_per_sec));
+    }
+    row.push_back("");
+    PrintTableRow(row);
+  }
+  return 0;
+}

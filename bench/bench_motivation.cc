@@ -1,0 +1,114 @@
+// Motivation experiments (paper Figures 1 and 2).
+//
+// F1: hash-index store vs LSM as the dataset grows. With a fixed memory
+// budget (bucket count), the hash store's chains lengthen and its reads
+// collapse past a crossover, while the LSM degrades gracefully — the
+// scalability limitation motivating UniKV's two-layer design.
+//
+// F2: SSTable access-frequency skew in an LSM under zipfian reads: the
+// recently flushed, low-level tables absorb most accesses while the last
+// level holds most tables but a small share of the requests — the
+// locality motivating a hash index over recent data only.
+
+#include <map>
+
+#include "baseline/baselines.h"
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("motivation");
+  const size_t kValueSize = 1024;
+
+  // ---- F1: crossover between hash store and LSM ----
+  PrintTableHeader("F1 hash store vs LSM as data grows (read kops/s)",
+                   {"keys", "HashLog", "LeveledLSM", "hashlog chain stats"});
+  for (uint64_t keys :
+       {Scaled(5000), Scaled(10000), Scaled(20000), Scaled(40000),
+        Scaled(80000)}) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(keys));
+    std::string chain_stats;
+    for (Engine engine : {Engine::kHashLog, Engine::kLeveled}) {
+      // Fixed memory budget for the hash store: the bucket directory does
+      // not grow with the data, so chains lengthen (SkimpyStash premise).
+      Options opt = BenchOptions();
+      opt.hashlog_buckets = 4096;
+      auto bdb = std::make_unique<BenchDb>(engine, opt, root);
+      LoadSpec load;
+      load.num_keys = keys;
+      load.value_size = kValueSize;
+      RunLoad(bdb.get(), load);
+
+      PointReadSpec reads;
+      reads.num_ops = Scaled(5000);
+      reads.key_space = keys;
+      reads.dist = Distribution::kUniform;
+      reads.value_size = kValueSize;
+      PhaseResult r = RunPointReads(bdb.get(), reads);
+      row.push_back(Fmt(r.kops_per_sec));
+      if (engine == Engine::kHashLog) {
+        bdb->db()->GetProperty("db.stats", &chain_stats);
+      }
+    }
+    row.push_back(chain_stats);
+    PrintTableRow(row);
+  }
+
+  // ---- F2: per-level access skew under zipfian reads ----
+  {
+    BenchDb bdb(Engine::kLeveled, BenchOptions(), root);
+    const uint64_t keys = Scaled(40000);
+    LoadSpec load;
+    load.num_keys = keys;
+    load.value_size = kValueSize;
+    // Plain load without CompactAll so a natural level hierarchy remains.
+    for (uint64_t i = 0; i < keys; i++) {
+      bdb.db()->Put(WriteOptions(), KeyGenerator::Key(i),
+                    MakeValue(i, kValueSize));
+    }
+    bdb.db()->FlushMemTable();
+
+    KeyGenerator gen(Distribution::kZipfian, keys, 99);
+    std::string value;
+    for (uint64_t i = 0; i < Scaled(20000); i++) {
+      bdb.db()->Get(ReadOptions(), KeyGenerator::Key(gen.NextId()), &value);
+    }
+
+    std::string accesses;
+    bdb.db()->GetProperty("db.table-accesses", &accesses);
+    // Aggregate by level.
+    std::map<std::string, std::pair<uint64_t, uint64_t>> by_level;
+    size_t pos = 0;
+    while (pos < accesses.size()) {
+      size_t eol = accesses.find('\n', pos);
+      if (eol == std::string::npos) break;
+      std::string line = accesses.substr(pos, eol - pos);
+      pos = eol + 1;
+      char level[32];
+      unsigned long long number, count;
+      if (std::sscanf(line.c_str(), "%31s %llu %llu", level, &number,
+                      &count) == 3) {
+        by_level[level].first += 1;
+        by_level[level].second += count;
+      }
+    }
+    uint64_t total_tables = 0, total_accesses = 0;
+    for (const auto& [level, stats] : by_level) {
+      total_tables += stats.first;
+      total_accesses += stats.second;
+    }
+    PrintTableHeader("F2 SSTable access skew (zipfian reads on LeveledLSM)",
+                     {"level", "tables", "tables%", "accesses", "accesses%"});
+    for (const auto& [level, stats] : by_level) {
+      PrintTableRow(
+          {level, std::to_string(stats.first),
+           Fmt(total_tables ? 100.0 * stats.first / total_tables : 0),
+           std::to_string(stats.second),
+           Fmt(total_accesses ? 100.0 * stats.second / total_accesses : 0)});
+    }
+  }
+  return 0;
+}

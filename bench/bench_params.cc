@@ -1,0 +1,67 @@
+// Experiment F13 — Parameter sensitivity: UnsortedLimit and
+// partitionSizeLimit sweeps.
+//
+// Paper: UnsortedLimit trades hash-index memory + merge frequency against
+// read locality; partitionSizeLimit trades split frequency against merge
+// cost per partition. Expected shape: larger UnsortedLimit -> fewer,
+// bigger merges (higher load throughput, more index memory); smaller
+// partition limit -> more partitions.
+
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("params");
+  const uint64_t kKeys = Scaled(25000);
+  const size_t kValueSize = 1024;
+
+  PrintTableHeader("F13a UnsortedLimit sweep",
+                   {"unsorted_limit", "load kops/s", "write_amp",
+                    "read kops/s", "index_KiB"});
+  for (size_t limit_mb : {2, 4, 8, 16}) {
+    Options opt = BenchOptions();
+    opt.unsorted_limit = limit_mb * 1024 * 1024;
+    opt.gc_garbage_threshold = opt.unsorted_limit * 2;
+    BenchDb bdb(Engine::kUniKV, opt, root);
+
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    PhaseResult lr = RunLoad(&bdb, load);
+
+    std::string index_bytes = "0";
+    bdb.db()->GetProperty("db.hash-index-bytes", &index_bytes);
+
+    PointReadSpec reads;
+    reads.num_ops = Scaled(8000);
+    reads.key_space = kKeys;
+    reads.value_size = kValueSize;
+    PhaseResult rr = RunPointReads(&bdb, reads);
+
+    PrintTableRow({std::to_string(limit_mb) + "MiB", Fmt(lr.kops_per_sec),
+                   Fmt(lr.write_amp, 2), Fmt(rr.kops_per_sec),
+                   Fmt(std::stod(index_bytes) / 1024.0, 0)});
+  }
+
+  PrintTableHeader("F13b partitionSizeLimit sweep",
+                   {"partition_limit", "load kops/s", "write_amp",
+                    "partitions"});
+  for (size_t limit_mb : {8, 16, 32, 64}) {
+    Options opt = BenchOptions();
+    opt.partition_size_limit = limit_mb * 1024 * 1024;
+    BenchDb bdb(Engine::kUniKV, opt, root);
+
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    PhaseResult lr = RunLoad(&bdb, load);
+
+    std::string partitions = "1";
+    bdb.db()->GetProperty("db.num-partitions", &partitions);
+    PrintTableRow({std::to_string(limit_mb) + "MiB", Fmt(lr.kops_per_sec),
+                   Fmt(lr.write_amp, 2), partitions});
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment F6 — Random point-read performance and read amplification.
+//
+// Paper: after loading, issue point lookups (uniform and zipfian) and
+// compare throughput and bytes read per logical byte returned. Expected
+// shape: UniKV beats LeveledLSM (single-table probes via the hash index /
+// one binary search vs multi-level search with bloom false positives) and
+// beats TieredLSM by a wider margin (tiered must consult many runs).
+
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("read");
+  const uint64_t kKeys = Scaled(30000);
+  const uint64_t kReads = Scaled(15000);
+  const size_t kValueSize = 1024;
+
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipfian}) {
+    PrintTableHeader(
+        std::string("F6 point reads (") +
+            (dist == Distribution::kUniform ? "uniform" : "zipfian") +
+            "), dataset " + std::to_string(kKeys) + " x 1KiB",
+        {"engine", "kops/s", "read_amp", "MB_read", "p99_us"});
+    for (Engine engine :
+         {Engine::kUniKV, Engine::kLeveled, Engine::kTiered}) {
+      BenchDb bdb(engine, BenchOptions(), root);
+      LoadSpec load;
+      load.num_keys = kKeys;
+      load.value_size = kValueSize;
+      RunLoad(&bdb, load);
+      bdb.io()->Reset();
+
+      PointReadSpec spec;
+      spec.num_ops = kReads;
+      spec.key_space = kKeys;
+      spec.dist = dist;
+      spec.value_size = kValueSize;
+      PhaseResult r = RunPointReads(&bdb, spec);
+      PrintTableRow({EngineName(engine), Fmt(r.kops_per_sec),
+                     Fmt(r.read_amp, 2), Fmt(r.bytes_read / 1048576.0),
+                     Fmt(r.latency_us.Percentile(99), 0)});
+    }
+  }
+
+  // Negative lookups: UniKV needs at most one extra table read to confirm
+  // absence (paper: no bloom filters yet only one candidate SSTable).
+  PrintTableHeader("F6b negative lookups (keys absent)",
+                   {"engine", "kops/s", "MB_read"});
+  for (Engine engine : {Engine::kUniKV, Engine::kLeveled, Engine::kTiered}) {
+    BenchDb bdb(engine, BenchOptions(), root);
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    RunLoad(&bdb, load);
+    bdb.io()->Reset();
+
+    Env* env = Env::Default();
+    uint64_t t0 = env->NowMicros();
+    std::string value;
+    const uint64_t kMisses = Scaled(10000);
+    for (uint64_t i = 0; i < kMisses; i++) {
+      // Ids beyond the loaded space are never present.
+      bdb.db()->Get(ReadOptions(), KeyGenerator::Key(kKeys + i), &value);
+    }
+    double secs = (env->NowMicros() - t0) / 1e6;
+    PrintTableRow({EngineName(engine), Fmt(kMisses / secs / 1000.0),
+                   Fmt(bdb.io()->bytes_read.load() / 1048576.0)});
+  }
+  return 0;
+}

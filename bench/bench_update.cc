@@ -1,0 +1,63 @@
+// Experiment F8 — Update-heavy performance including GC cost.
+//
+// Paper: load, then overwrite the key space repeatedly under a zipfian
+// distribution; GC work is charged to write performance. Expected shape:
+// UniKV sustains higher update throughput than LeveledLSM because
+// overwritten values become log garbage reclaimed by per-partition GC
+// instead of being rewritten through every level.
+
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("update");
+  const uint64_t kKeys = Scaled(20000);
+  const size_t kValueSize = 1024;
+
+  PrintTableHeader(
+      "F8 zipfian updates, 2x key-space ops after load (GC included)",
+      {"engine", "kops/s", "write_amp", "MB_written", "gc/compact stats"});
+  for (Engine engine : {Engine::kUniKV, Engine::kLeveled, Engine::kTiered}) {
+    BenchDb bdb(engine, BenchOptions(), root);
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    RunLoad(&bdb, load);
+    bdb.io()->Reset();
+
+    UpdateSpec spec;
+    spec.num_ops = kKeys * 2;
+    spec.key_space = kKeys;
+    spec.value_size = kValueSize;
+    PhaseResult r = RunUpdates(&bdb, spec);
+    std::string stats;
+    bdb.db()->GetProperty("db.stats", &stats);
+    PrintTableRow({EngineName(engine), Fmt(r.kops_per_sec),
+                   Fmt(r.write_amp, 2), Fmt(r.bytes_written / 1048576.0),
+                   stats});
+  }
+
+  // Uniform updates (worst case for locality).
+  PrintTableHeader("F8b uniform updates",
+                   {"engine", "kops/s", "write_amp"});
+  for (Engine engine : {Engine::kUniKV, Engine::kLeveled, Engine::kTiered}) {
+    BenchDb bdb(engine, BenchOptions(), root);
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    RunLoad(&bdb, load);
+    bdb.io()->Reset();
+
+    UpdateSpec spec;
+    spec.num_ops = kKeys * 2;
+    spec.key_space = kKeys;
+    spec.value_size = kValueSize;
+    spec.dist = Distribution::kUniform;
+    PhaseResult r = RunUpdates(&bdb, spec);
+    PrintTableRow(
+        {EngineName(engine), Fmt(r.kops_per_sec), Fmt(r.write_amp, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Experiment F11 — Value-size sensitivity.
+//
+// Paper: load + read with values from 256 B to 16 KiB at constant total
+// data volume. Expected shape: UniKV's write advantage grows with value
+// size (KV separation keeps merges key-only), while small values shrink
+// the gap (pointer overhead is relatively larger).
+
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("value_size");
+  const uint64_t kTotalBytes = Scaled(24ull * 1024 * 1024);
+
+  PrintTableHeader(
+      "F11 value-size sweep (load kops/s | write_amp | read kops/s)",
+      {"value_size", "UniKV", "LeveledLSM", "TieredLSM"});
+  for (size_t value_size : {256, 1024, 4096, 16384}) {
+    uint64_t keys = kTotalBytes / value_size;
+    std::vector<std::string> row;
+    row.push_back(std::to_string(value_size));
+    for (Engine engine :
+         {Engine::kUniKV, Engine::kLeveled, Engine::kTiered}) {
+      BenchDb bdb(engine, BenchOptions(), root);
+      LoadSpec load;
+      load.num_keys = keys;
+      load.value_size = value_size;
+      PhaseResult lr = RunLoad(&bdb, load);
+
+      PointReadSpec reads;
+      reads.num_ops = std::min<uint64_t>(keys, Scaled(8000));
+      reads.key_space = keys;
+      reads.value_size = value_size;
+      PhaseResult rr = RunPointReads(&bdb, reads);
+
+      row.push_back(Fmt(lr.kops_per_sec) + "|" + Fmt(lr.write_amp, 1) + "|" +
+                    Fmt(rr.kops_per_sec));
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

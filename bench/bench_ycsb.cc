@@ -1,0 +1,42 @@
+// Experiment T2 — YCSB core workloads A-F.
+//
+// Paper: standard YCSB setup, zipfian theta=0.99, after a load phase.
+// Expected shape: UniKV leads or matches on A/B/C/D/F; E (scan heavy)
+// stays within the LeveledLSM ballpark thanks to the scan optimizations.
+
+#include "bench_common.h"
+
+using namespace unikv;
+using namespace unikv::bench;
+
+int main() {
+  const std::string root = BenchRoot("ycsb");
+  const uint64_t kKeys = Scaled(20000);
+  const size_t kValueSize = 1024;
+
+  PrintTableHeader("T2 YCSB (kops/s), dataset " + std::to_string(kKeys) +
+                       " x 1KiB, zipfian 0.99",
+                   {"workload", "UniKV", "LeveledLSM", "TieredLSM"});
+  for (char workload : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    std::vector<std::string> row;
+    row.push_back(std::string(1, workload));
+    for (Engine engine :
+         {Engine::kUniKV, Engine::kLeveled, Engine::kTiered}) {
+      BenchDb bdb(engine, BenchOptions(), root);
+      LoadSpec load;
+      load.num_keys = kKeys;
+      load.value_size = kValueSize;
+      RunLoad(&bdb, load);
+
+      YcsbRunSpec spec;
+      spec.workload = workload;
+      spec.num_ops = workload == 'E' ? Scaled(3000) : Scaled(20000);
+      spec.key_space = kKeys;
+      spec.value_size = kValueSize;
+      PhaseResult r = RunYcsb(&bdb, spec);
+      row.push_back(Fmt(r.kops_per_sec));
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Crash recovery walkthrough: uses the in-memory Env's power-failure
+// simulation to show what UniKV guarantees after a crash — synced writes
+// survive via WAL replay, partition metadata comes back from the
+// MANIFEST, hash indexes are restored from checkpoints, and torn tails
+// are dropped cleanly.
+//
+//   ./build/examples/crash_recovery
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/db.h"
+#include "util/env.h"
+
+namespace {
+
+std::string Key(int i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "acct%06d", i);
+  return buf;
+}
+
+void Check(unikv::DB* db, int i, const char* expect) {
+  std::string value;
+  unikv::Status s = db->Get(unikv::ReadOptions(), Key(i), &value);
+  const char* got = s.ok() ? value.c_str() : (s.IsNotFound() ? "(miss)"
+                                                             : "(error)");
+  std::printf("  %s = %-10s (expected %s)%s\n", Key(i).c_str(), got, expect,
+              std::string(got) == expect ? "" : "  <-- MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  std::unique_ptr<unikv::MemEnv> env(unikv::NewMemEnv());
+  unikv::Options options;
+  options.env = env.get();
+  options.write_buffer_size = 64 * 1024;
+  options.unsorted_limit = 256 * 1024;
+
+  unikv::DB* raw = nullptr;
+  unikv::Status s = unikv::DB::Open(options, "/bank", &raw);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<unikv::DB> db(raw);
+
+  // Phase 1: durable writes (sync=true -> WAL fsynced per commit).
+  std::printf("phase 1: 100 synced account writes\n");
+  unikv::WriteOptions synced;
+  synced.sync = true;
+  for (int i = 0; i < 100; i++) {
+    db->Put(synced, Key(i), "committed");
+  }
+
+  // Phase 2: push some data through flush + merge so it lives in the
+  // UnsortedStore/SortedStore rather than the WAL.
+  std::printf("phase 2: flush + merge 400 more accounts\n");
+  for (int i = 100; i < 500; i++) {
+    db->Put(unikv::WriteOptions(), Key(i), "merged");
+  }
+  db->CompactAll();
+
+  // Phase 3: unsynced tail the crash may eat.
+  std::printf("phase 3: 50 unsynced writes (at-risk tail)\n");
+  for (int i = 500; i < 550; i++) {
+    db->Put(unikv::WriteOptions(), Key(i), "volatile");
+  }
+
+  // CRASH: the process dies; everything not fsynced vanishes.
+  std::printf("\n*** simulated power failure ***\n\n");
+  db.reset();
+  env->DropUnsyncedData();
+
+  s = unikv::DB::Open(options, "/bank", &raw);
+  if (!s.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  db.reset(raw);
+  std::printf("recovered. checking guarantees:\n");
+  Check(db.get(), 0, "committed");    // WAL-replayed.
+  Check(db.get(), 99, "committed");   // WAL-replayed.
+  Check(db.get(), 100, "merged");     // From SortedStore via MANIFEST.
+  Check(db.get(), 499, "merged");
+  std::printf("  (unsynced tail keys may be gone — that is the contract)\n");
+  std::string value;
+  int survived = 0;
+  for (int i = 500; i < 550; i++) {
+    if (db->Get(unikv::ReadOptions(), Key(i), &value).ok()) survived++;
+  }
+  std::printf("  unsynced tail: %d/50 survived\n", survived);
+
+  // The recovered store is fully writable.
+  db->Put(synced, Key(9999), "post-crash");
+  Check(db.get(), 9999, "post-crash");
+  std::printf("crash_recovery OK\n");
+  return 0;
+}

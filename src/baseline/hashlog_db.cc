@@ -1,0 +1,285 @@
+// HashLogDB: a SkimpyStash-style hash-indexed log store used by the
+// motivation experiment (paper Fig. 1). An in-memory bucket directory
+// holds the head offset of a per-bucket chain threaded through an
+// append-only on-disk log; each record stores the previous offset of its
+// bucket. Point lookups walk the chain from newest to oldest, so read
+// cost grows with the chain length (dataset size / bucket count) — the
+// scalability cliff the paper demonstrates for hash stores.
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baseline/baselines.h"
+#include "core/filename.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/env.h"
+#include "util/hash.h"
+
+namespace unikv {
+namespace baseline {
+
+namespace {
+
+constexpr uint64_t kNoChain = ~0ull;
+
+// Record: crc(4B) flags(1B) prev(8B fixed) keylen(varint) vallen(varint)
+//         key value
+constexpr uint8_t kFlagValue = 0;
+constexpr uint8_t kFlagTombstone = 1;
+
+class HashLogDB : public DB {
+ public:
+  HashLogDB(const Options& options, const HashLogConfig& config,
+            std::string dbname)
+      : options_(options), dbname_(std::move(dbname)) {
+    env_ = options_.env != nullptr ? options_.env : Env::Default();
+    buckets_.assign(config.num_buckets, kNoChain);
+  }
+
+  Status Init() {
+    env_->CreateDir(dbname_);
+    log_name_ = dbname_ + "/hashlog.dat";
+    // Rebuild the directory by scanning the existing log (recovery).
+    if (env_->FileExists(log_name_)) {
+      if (options_.error_if_exists) {
+        return Status::InvalidArgument(dbname_, "exists");
+      }
+      Status s = RebuildDirectory();
+      if (!s.ok()) return s;
+    } else if (!options_.create_if_missing) {
+      return Status::InvalidArgument(dbname_, "does not exist");
+    }
+    Status s = env_->NewAppendableFile(log_name_, &log_);
+    if (!s.ok()) return s;
+    return env_->NewRandomAccessFile(log_name_, &reader_);
+  }
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override {
+    return Append(options, key, value, kFlagValue);
+  }
+
+  Status Delete(const WriteOptions& options, const Slice& key) override {
+    return Append(options, key, Slice(), kFlagTombstone);
+  }
+
+  Status Write(const WriteOptions& options, WriteBatch* updates) override {
+    struct Applier : public WriteBatch::Handler {
+      HashLogDB* db;
+      const WriteOptions* wo;
+      Status status;
+      void Put(const Slice& key, const Slice& value) override {
+        if (status.ok()) status = db->Put(*wo, key, value);
+      }
+      void Delete(const Slice& key) override {
+        if (status.ok()) status = db->Delete(*wo, key);
+      }
+    };
+    Applier applier;
+    applier.db = this;
+    applier.wo = &options;
+    Status s = updates->Iterate(&applier);
+    return s.ok() ? applier.status : s;
+  }
+
+  Status Get(const ReadOptions& /*options*/, const Slice& key,
+             std::string* value) override {
+    uint64_t head;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      head = buckets_[BucketFor(key)];
+      Status s = log_->Flush();  // Make appended bytes visible to reads.
+      if (!s.ok()) return s;
+    }
+    // Walk the bucket chain, newest record first.
+    std::string scratch;
+    while (head != kNoChain) {
+      Slice rec_key, rec_value;
+      uint8_t flags;
+      uint64_t prev;
+      Status s =
+          ReadRecord(head, &scratch, &flags, &prev, &rec_key, &rec_value);
+      if (!s.ok()) return s;
+      chain_hops_++;
+      if (rec_key == key) {
+        if (flags == kFlagTombstone) return Status::NotFound(Slice());
+        value->assign(rec_value.data(), rec_value.size());
+        return Status::OK();
+      }
+      head = prev;
+    }
+    return Status::NotFound(Slice());
+  }
+
+  Iterator* NewIterator(const ReadOptions& /*options*/) override {
+    // Hash stores do not support ordered scans (the paper's point).
+    return NewErrorIterator(
+        Status::NotSupported("HashLogDB does not support range scans"));
+  }
+
+  Status CompactAll() override { return Status::OK(); }
+
+  Status FlushMemTable() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_->Flush();
+  }
+
+  bool GetProperty(const Slice& property, std::string* value) override {
+    if (property == Slice("db.stats")) {
+      char buf[120];
+      std::snprintf(buf, sizeof(buf),
+                    "records=%llu chain_hops=%llu log_bytes=%llu",
+                    static_cast<unsigned long long>(records_),
+                    static_cast<unsigned long long>(chain_hops_),
+                    static_cast<unsigned long long>(offset_));
+      *value = buf;
+      return true;
+    }
+    if (property == Slice("db.hash-index-bytes")) {
+      *value = std::to_string(buckets_.size() * sizeof(uint64_t));
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  size_t BucketFor(const Slice& key) const {
+    return Hash64(key.data(), key.size(), 0x5bd1e995) % buckets_.size();
+  }
+
+  Status Append(const WriteOptions& options, const Slice& key,
+                const Slice& value, uint8_t flags) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t bucket = BucketFor(key);
+    std::string rec;
+    rec.resize(4);
+    rec.push_back(static_cast<char>(flags));
+    PutFixed64(&rec, buckets_[bucket]);
+    PutVarint32(&rec, static_cast<uint32_t>(key.size()));
+    PutVarint32(&rec, static_cast<uint32_t>(value.size()));
+    rec.append(key.data(), key.size());
+    rec.append(value.data(), value.size());
+    uint32_t crc = crc32c::Value(rec.data() + 4, rec.size() - 4);
+    EncodeFixed32(rec.data(), crc32c::Mask(crc));
+
+    Status s = log_->Append(rec);
+    if (!s.ok()) return s;
+    if (options.sync) {
+      s = log_->Sync();
+      if (!s.ok()) return s;
+    }
+    buckets_[bucket] = offset_;
+    offset_ += rec.size();
+    records_++;
+    return Status::OK();
+  }
+
+  Status ReadRecord(uint64_t offset, std::string* scratch, uint8_t* flags,
+                    uint64_t* prev, Slice* key, Slice* value) {
+    // Read the fixed header plus a guess of the payload; extend if short.
+    const size_t kHeaderGuess = 4 + 1 + 8 + 5 + 5;
+    scratch->resize(kHeaderGuess);
+    Slice header;
+    Status s = reader_->Read(offset, kHeaderGuess, &header, scratch->data());
+    if (!s.ok()) return s;
+    if (header.size() < 4 + 1 + 8 + 2) {
+      return Status::Corruption("short hashlog record header");
+    }
+    Slice input(header.data() + 5, header.size() - 5);
+    *prev = DecodeFixed64(input.data());
+    input.remove_prefix(8);
+    uint32_t key_len, val_len;
+    if (!GetVarint32(&input, &key_len) || !GetVarint32(&input, &val_len)) {
+      return Status::Corruption("bad hashlog record lengths");
+    }
+    size_t header_size = (input.data() - header.data());
+    size_t total = header_size + key_len + val_len;
+    scratch->resize(total);
+    Slice record;
+    s = reader_->Read(offset, total, &record, scratch->data());
+    if (!s.ok()) return s;
+    if (record.size() != total) {
+      return Status::Corruption("short hashlog record");
+    }
+    uint32_t crc = crc32c::Unmask(DecodeFixed32(record.data()));
+    if (crc32c::Value(record.data() + 4, record.size() - 4) != crc) {
+      return Status::Corruption("hashlog checksum mismatch");
+    }
+    *flags = static_cast<uint8_t>(record.data()[4]);
+    *key = Slice(record.data() + header_size, key_len);
+    *value = Slice(record.data() + header_size + key_len, val_len);
+    return Status::OK();
+  }
+
+  Status RebuildDirectory() {
+    uint64_t size;
+    Status s = env_->GetFileSize(log_name_, &size);
+    if (!s.ok()) return s;
+    std::unique_ptr<SequentialFile> file;
+    s = env_->NewSequentialFile(log_name_, &file);
+    if (!s.ok()) return s;
+    std::string contents;
+    contents.resize(size);
+    Slice data;
+    s = file->Read(size, &data, contents.data());
+    if (!s.ok()) return s;
+
+    uint64_t offset = 0;
+    Slice input = data;
+    while (input.size() > 4 + 1 + 8 + 2) {
+      Slice peek(input.data() + 4 + 1 + 8, input.size() - 4 - 1 - 8);
+      uint32_t key_len, val_len;
+      if (!GetVarint32(&peek, &key_len) || !GetVarint32(&peek, &val_len)) {
+        break;
+      }
+      size_t total = (peek.data() - input.data()) + key_len + val_len;
+      if (total > input.size()) break;  // Torn tail.
+      uint32_t crc = crc32c::Unmask(DecodeFixed32(input.data()));
+      if (crc32c::Value(input.data() + 4, total - 4) != crc) break;
+      Slice key(peek.data(), key_len);
+      buckets_[BucketFor(key)] = offset;
+      records_++;
+      input.remove_prefix(total);
+      offset += total;
+    }
+    offset_ = offset;
+    return Status::OK();
+  }
+
+  Options options_;
+  const std::string dbname_;
+  Env* env_;
+  std::string log_name_;
+
+  std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  std::unique_ptr<WritableFile> log_;
+  std::unique_ptr<RandomAccessFile> reader_;
+  uint64_t offset_ = 0;
+  uint64_t records_ = 0;
+  mutable uint64_t chain_hops_ = 0;
+};
+
+}  // namespace
+
+Status OpenHashLogDB(const Options& options, const HashLogConfig& config,
+                     const std::string& name, DB** dbptr) {
+  *dbptr = nullptr;
+  auto db = std::make_unique<HashLogDB>(options, config, name);
+  Status s = db->Init();
+  if (!s.ok()) return s;
+  *dbptr = db.release();
+  return Status::OK();
+}
+
+Status OpenHashLogDB(const Options& options, const std::string& name,
+                     DB** dbptr) {
+  HashLogConfig config;
+  config.num_buckets = options.hashlog_buckets;
+  return OpenHashLogDB(options, config, name, dbptr);
+}
+
+}  // namespace baseline
+}  // namespace unikv

@@ -1,0 +1,359 @@
+#include "benchutil/driver.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/baselines.h"
+
+namespace unikv {
+namespace bench {
+
+const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kUniKV:
+      return "UniKV";
+    case Engine::kLeveled:
+      return "LeveledLSM";
+    case Engine::kTiered:
+      return "TieredLSM";
+    case Engine::kHashLog:
+      return "HashLog";
+  }
+  return "?";
+}
+
+BenchDb::BenchDb(Engine engine, const Options& base_options,
+                 const std::string& root, bool keep_existing)
+    : engine_(engine), options_(base_options) {
+  Env* base_env =
+      base_options.env != nullptr ? base_options.env : Env::Default();
+  env_ = std::make_unique<InstrumentedEnv>(base_env);
+  options_.env = env_.get();
+  base_env->CreateDir(root);
+  path_ = root + "/" + EngineName(engine);
+  if (!keep_existing) {
+    RemoveDirRecursively(env_.get(), path_);
+  }
+
+  DB* raw = nullptr;
+  Status s;
+  switch (engine) {
+    case Engine::kUniKV:
+      s = DB::Open(options_, path_, &raw);
+      break;
+    case Engine::kLeveled:
+      s = baseline::OpenLeveledDB(options_, path_, &raw);
+      break;
+    case Engine::kTiered:
+      s = baseline::OpenTieredDB(options_, path_, &raw);
+      break;
+    case Engine::kHashLog:
+      s = baseline::OpenHashLogDB(options_, path_, &raw);
+      break;
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL: cannot open %s at %s: %s\n",
+                 EngineName(engine), path_.c_str(), s.ToString().c_str());
+    std::abort();
+  }
+  db_.reset(raw);
+}
+
+BenchDb::~BenchDb() = default;
+
+double BenchDb::Reopen() {
+  db_.reset();
+  Env* env = options_.env;
+  uint64_t start = env->NowMicros();
+  DB* raw = nullptr;
+  Status s;
+  switch (engine_) {
+    case Engine::kUniKV:
+      s = DB::Open(options_, path_, &raw);
+      break;
+    case Engine::kLeveled:
+      s = baseline::OpenLeveledDB(options_, path_, &raw);
+      break;
+    case Engine::kTiered:
+      s = baseline::OpenTieredDB(options_, path_, &raw);
+      break;
+    case Engine::kHashLog:
+      s = baseline::OpenHashLogDB(options_, path_, &raw);
+      break;
+  }
+  uint64_t elapsed = env->NowMicros() - start;
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL: reopen failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  db_.reset(raw);
+  return elapsed / 1e6;
+}
+
+namespace {
+
+struct PhaseTimer {
+  BenchDb* bdb;
+  PhaseResult* result;
+  uint64_t start_us;
+  uint64_t start_written, start_read;
+
+  PhaseTimer(BenchDb* b, PhaseResult* r) : bdb(b), result(r) {
+    start_us = Env::Default()->NowMicros();
+    start_written = bdb->io()->bytes_written.load();
+    start_read = bdb->io()->bytes_read.load();
+  }
+
+  void Finish(uint64_t ops) {
+    result->seconds = (Env::Default()->NowMicros() - start_us) / 1e6;
+    result->ops = ops;
+    result->kops_per_sec =
+        result->seconds > 0 ? ops / result->seconds / 1000.0 : 0;
+    result->bytes_written = bdb->io()->bytes_written.load() - start_written;
+    result->bytes_read = bdb->io()->bytes_read.load() - start_read;
+  }
+};
+
+}  // namespace
+
+PhaseResult RunLoad(BenchDb* bdb, const LoadSpec& spec) {
+  PhaseResult r;
+  r.phase = "load";
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+  Random shuffle_rnd(spec.seed);
+
+  // A permuted id sequence for random loads.
+  std::vector<uint32_t> order;
+  if (!spec.sequential) {
+    order.resize(spec.num_keys);
+    for (uint64_t i = 0; i < spec.num_keys; i++) order[i] = i;
+    for (uint64_t i = spec.num_keys; i > 1; i--) {
+      std::swap(order[i - 1], order[shuffle_rnd.Next64() % i]);
+    }
+  }
+
+  WriteOptions wo;
+  wo.sync = spec.sync_every;
+  uint64_t user_bytes = 0;
+  for (uint64_t i = 0; i < spec.num_keys; i++) {
+    uint64_t id = spec.sequential ? i : order[i];
+    std::string key = KeyGenerator::Key(id);
+    std::string value = MakeValue(id, spec.value_size);
+    user_bytes += key.size() + value.size();
+    uint64_t t0 = env->NowMicros();
+    Status s = bdb->db()->Put(wo, key, value);
+    r.latency_us.Add(env->NowMicros() - t0);
+    if (!s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  // Settle all background work so write amplification is fully counted
+  // (the paper counts GC cost in write performance).
+  bdb->db()->CompactAll();
+  timer.Finish(spec.num_keys);
+  r.user_bytes = user_bytes;
+  r.write_amp = user_bytes > 0
+                    ? static_cast<double>(r.bytes_written) / user_bytes
+                    : 0;
+  return r;
+}
+
+PhaseResult RunPointReads(BenchDb* bdb, const PointReadSpec& spec) {
+  PhaseResult r;
+  r.phase = "read";
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+  KeyGenerator gen(spec.dist, spec.key_space, spec.seed);
+  std::string value;
+  uint64_t found = 0, logical = 0;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    std::string key = KeyGenerator::Key(gen.NextId());
+    uint64_t t0 = env->NowMicros();
+    Status s = bdb->db()->Get(ReadOptions(), key, &value);
+    r.latency_us.Add(env->NowMicros() - t0);
+    if (s.ok()) {
+      found++;
+      logical += key.size() + value.size();
+    }
+  }
+  timer.Finish(spec.num_ops);
+  r.user_bytes = logical;
+  r.read_amp =
+      logical > 0 ? static_cast<double>(r.bytes_read) / logical : 0;
+  (void)found;
+  return r;
+}
+
+PhaseResult RunScans(BenchDb* bdb, const ScanSpec& spec) {
+  PhaseResult r;
+  r.phase = "scan";
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+  Random rnd(spec.seed);
+  uint64_t entries = 0;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    uint64_t start_id = rnd.Next64() % spec.key_space;
+    std::string start = KeyGenerator::Key(start_id);
+    uint64_t t0 = env->NowMicros();
+    if (spec.use_optimized_scan) {
+      std::vector<std::pair<std::string, std::string>> out;
+      bdb->db()->Scan(ReadOptions(), start, spec.scan_len, &out);
+      entries += out.size();
+    } else {
+      std::unique_ptr<Iterator> iter(bdb->db()->NewIterator(ReadOptions()));
+      int left = spec.scan_len;
+      for (iter->Seek(start); iter->Valid() && left > 0;
+           iter->Next(), left--) {
+        entries += 1;
+        // Touch the value as a consumer would.
+        volatile size_t sink = iter->value().size();
+        (void)sink;
+      }
+    }
+    r.latency_us.Add(env->NowMicros() - t0);
+  }
+  timer.Finish(entries);  // Throughput = entries/sec for scans.
+  return r;
+}
+
+PhaseResult RunUpdates(BenchDb* bdb, const UpdateSpec& spec) {
+  PhaseResult r;
+  r.phase = "update";
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+  KeyGenerator gen(spec.dist, spec.key_space, spec.seed);
+  uint64_t user_bytes = 0;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    uint64_t id = gen.NextId();
+    std::string key = KeyGenerator::Key(id);
+    std::string value = MakeValue(id ^ i, spec.value_size);
+    user_bytes += key.size() + value.size();
+    uint64_t t0 = env->NowMicros();
+    Status s = bdb->db()->Put(WriteOptions(), key, value);
+    r.latency_us.Add(env->NowMicros() - t0);
+    if (!s.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  bdb->db()->CompactAll();  // GC cost is part of write performance.
+  timer.Finish(spec.num_ops);
+  r.user_bytes = user_bytes;
+  r.write_amp = user_bytes > 0
+                    ? static_cast<double>(r.bytes_written) / user_bytes
+                    : 0;
+  return r;
+}
+
+PhaseResult RunMixed(BenchDb* bdb, const MixedSpec& spec) {
+  PhaseResult r;
+  r.phase = "mixed";
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+  KeyGenerator gen(spec.dist, spec.key_space, spec.seed);
+  Random rnd(spec.seed * 31 + 7);
+  std::string value;
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    uint64_t id = gen.NextId();
+    std::string key = KeyGenerator::Key(id);
+    bool is_read = (rnd.Next() % 1000) < spec.read_fraction * 1000;
+    uint64_t t0 = env->NowMicros();
+    if (is_read) {
+      bdb->db()->Get(ReadOptions(), key, &value);
+    } else {
+      bdb->db()->Put(WriteOptions(), key, MakeValue(id ^ i, spec.value_size));
+    }
+    r.latency_us.Add(env->NowMicros() - t0);
+  }
+  timer.Finish(spec.num_ops);
+  return r;
+}
+
+PhaseResult RunYcsb(BenchDb* bdb, const YcsbRunSpec& spec) {
+  PhaseResult r;
+  r.phase = std::string("ycsb-") + spec.workload;
+  const YcsbSpec* ycsb = GetYcsbSpec(spec.workload);
+  if (ycsb == nullptr) {
+    std::fprintf(stderr, "unknown YCSB workload %c\n", spec.workload);
+    std::abort();
+  }
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+  KeyGenerator gen(ycsb->dist, spec.key_space, spec.seed);
+  Random rnd(spec.seed * 131 + 13);
+  uint64_t insert_frontier = spec.key_space;
+  std::string value;
+
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    double dice = (rnd.Next() % 1000000) / 1e6;
+    uint64_t t0 = env->NowMicros();
+    if (dice < ycsb->read_ratio) {
+      bdb->db()->Get(ReadOptions(), KeyGenerator::Key(gen.NextId()), &value);
+    } else if (dice < ycsb->read_ratio + ycsb->update_ratio) {
+      uint64_t id = gen.NextId();
+      bdb->db()->Put(WriteOptions(), KeyGenerator::Key(id),
+                     MakeValue(id ^ i, spec.value_size));
+    } else if (dice < ycsb->read_ratio + ycsb->update_ratio +
+                          ycsb->insert_ratio) {
+      uint64_t id = insert_frontier++;
+      gen.SetFrontier(insert_frontier);
+      bdb->db()->Put(WriteOptions(), KeyGenerator::Key(id),
+                     MakeValue(id, spec.value_size));
+    } else if (dice < ycsb->read_ratio + ycsb->update_ratio +
+                          ycsb->insert_ratio + ycsb->scan_ratio) {
+      int len = 1 + static_cast<int>(rnd.Uniform(ycsb->scan_max_len));
+      std::vector<std::pair<std::string, std::string>> out;
+      bdb->db()->Scan(ReadOptions(), KeyGenerator::Key(gen.NextId()), len,
+                      &out);
+    } else {
+      // Read-modify-write.
+      uint64_t id = gen.NextId();
+      std::string key = KeyGenerator::Key(id);
+      bdb->db()->Get(ReadOptions(), key, &value);
+      bdb->db()->Put(WriteOptions(), key, MakeValue(id ^ i, spec.value_size));
+    }
+    r.latency_us.Add(env->NowMicros() - t0);
+  }
+  timer.Finish(spec.num_ops);
+  return r;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const std::string& col : columns) {
+    std::printf("%-16s", col.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); i++) {
+    std::printf("%-16s", "---------------");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%-16s", cell.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+double BenchScale() {
+  const char* s = std::getenv("UNIKV_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+}  // namespace bench
+}  // namespace unikv

@@ -1,0 +1,147 @@
+#ifndef UNIKV_BENCHUTIL_DRIVER_H_
+#define UNIKV_BENCHUTIL_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/workload.h"
+#include "core/db.h"
+#include "util/env.h"
+#include "util/histogram.h"
+
+namespace unikv {
+namespace bench {
+
+/// Engines compared across experiments (paper: UniKV vs LevelDB, RocksDB,
+/// HyperLevelDB, PebblesDB — we build LevelDB/RocksDB-shaped `kLeveled`
+/// and HyperLevelDB/PebblesDB-shaped `kTiered` baselines on the same
+/// substrates, plus the SkimpyStash-shaped `kHashLog` for motivation).
+enum class Engine { kUniKV, kLeveled, kTiered, kHashLog };
+
+const char* EngineName(Engine e);
+
+/// Result of one workload phase against one engine.
+struct PhaseResult {
+  std::string phase;
+  double seconds = 0;
+  uint64_t ops = 0;
+  double kops_per_sec = 0;
+  Histogram latency_us;
+  // I/O accounting from the instrumented Env over the phase.
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t user_bytes = 0;  // Logical bytes the workload wrote.
+  double write_amp = 0;     // bytes_written / user_bytes.
+  double read_amp = 0;      // bytes_read / user logical bytes read.
+};
+
+/// A DB under test with an instrumented Env wrapped around the real one.
+class BenchDb {
+ public:
+  /// Opens `engine` at <root>/<engine-name>, destroying previous contents
+  /// unless `keep_existing`.
+  BenchDb(Engine engine, const Options& base_options,
+          const std::string& root, bool keep_existing = false);
+  ~BenchDb();
+
+  DB* db() { return db_.get(); }
+  Engine engine() const { return engine_; }
+  IoStats* io() { return env_->stats(); }
+  const std::string& path() const { return path_; }
+  const Options& options() const { return options_; }
+
+  /// Closes and reopens (recovery benchmarks). Returns elapsed seconds.
+  double Reopen();
+
+ private:
+  Engine engine_;
+  Options options_;
+  std::string path_;
+  std::unique_ptr<InstrumentedEnv> env_;
+  std::unique_ptr<DB> db_;
+};
+
+/// Workload phases -----------------------------------------------------
+
+struct LoadSpec {
+  uint64_t num_keys = 100000;
+  size_t value_size = 1024;
+  bool sequential = false;
+  bool sync_every = false;
+  uint32_t seed = 1;
+};
+
+/// Loads num_keys distinct keys; returns throughput + write amplification.
+PhaseResult RunLoad(BenchDb* bdb, const LoadSpec& spec);
+
+struct PointReadSpec {
+  uint64_t num_ops = 20000;
+  uint64_t key_space = 100000;
+  Distribution dist = Distribution::kUniform;
+  uint32_t seed = 2;
+  size_t value_size = 1024;  // For read-amp accounting.
+};
+
+PhaseResult RunPointReads(BenchDb* bdb, const PointReadSpec& spec);
+
+struct ScanSpec {
+  uint64_t num_ops = 500;
+  int scan_len = 100;
+  uint64_t key_space = 100000;
+  uint32_t seed = 3;
+  bool use_optimized_scan = true;  // DB::Scan vs iterator loop.
+};
+
+PhaseResult RunScans(BenchDb* bdb, const ScanSpec& spec);
+
+struct UpdateSpec {
+  uint64_t num_ops = 100000;
+  uint64_t key_space = 100000;
+  size_t value_size = 1024;
+  Distribution dist = Distribution::kZipfian;
+  uint32_t seed = 4;
+};
+
+PhaseResult RunUpdates(BenchDb* bdb, const UpdateSpec& spec);
+
+struct MixedSpec {
+  uint64_t num_ops = 50000;
+  uint64_t key_space = 100000;
+  size_t value_size = 1024;
+  double read_fraction = 0.5;
+  Distribution dist = Distribution::kZipfian;
+  uint32_t seed = 5;
+};
+
+PhaseResult RunMixed(BenchDb* bdb, const MixedSpec& spec);
+
+struct YcsbRunSpec {
+  char workload = 'A';
+  uint64_t num_ops = 30000;
+  uint64_t key_space = 100000;
+  size_t value_size = 1024;
+  uint32_t seed = 6;
+};
+
+PhaseResult RunYcsb(BenchDb* bdb, const YcsbRunSpec& spec);
+
+/// Output helpers ------------------------------------------------------
+
+/// Prints a paper-style table: header row then one row per entry.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+
+std::string Fmt(double v, int precision = 1);
+
+/// Benchmark scale factor from UNIKV_BENCH_SCALE (default 1.0): every
+/// bench multiplies its op counts by this, so `UNIKV_BENCH_SCALE=10` runs
+/// the full-size experiments.
+double BenchScale();
+
+}  // namespace bench
+}  // namespace unikv
+
+#endif  // UNIKV_BENCHUTIL_DRIVER_H_

@@ -1,0 +1,67 @@
+#include "benchutil/workload.h"
+
+#include <cstdio>
+
+namespace unikv {
+namespace bench {
+
+KeyGenerator::KeyGenerator(Distribution dist, uint64_t num_keys,
+                           uint32_t seed, double zipf_theta)
+    : dist_(dist), num_keys_(num_keys), rnd_(seed), frontier_(num_keys) {
+  if (dist == Distribution::kZipfian || dist == Distribution::kLatest) {
+    zipf_ = std::make_unique<ZipfianGenerator>(num_keys, zipf_theta, seed);
+  }
+}
+
+uint64_t KeyGenerator::NextId() {
+  switch (dist_) {
+    case Distribution::kSequential:
+      return next_seq_++ % num_keys_;
+    case Distribution::kUniform:
+      return rnd_.Next64() % num_keys_;
+    case Distribution::kZipfian:
+      return zipf_->Next() % num_keys_;
+    case Distribution::kLatest: {
+      // Hot end = most recently inserted ids.
+      uint64_t off = zipf_->Next() % num_keys_;
+      uint64_t frontier = frontier_ == 0 ? 1 : frontier_;
+      return (frontier - 1 - (off % frontier));
+    }
+  }
+  return 0;
+}
+
+std::string KeyGenerator::Key(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string MakeValue(uint64_t id, size_t value_size) {
+  std::string v;
+  v.reserve(value_size);
+  Random rnd(static_cast<uint32_t>(id * 2654435761u + 97));
+  while (v.size() < value_size) {
+    v.push_back(static_cast<char>(' ' + rnd.Uniform(95)));
+  }
+  return v;
+}
+
+const YcsbSpec* GetYcsbSpec(char name) {
+  static const YcsbSpec kSpecs[] = {
+      {'A', 0.50, 0.50, 0.0, 0.0, 0.0, Distribution::kZipfian, 100},
+      {'B', 0.95, 0.05, 0.0, 0.0, 0.0, Distribution::kZipfian, 100},
+      {'C', 1.00, 0.00, 0.0, 0.0, 0.0, Distribution::kZipfian, 100},
+      {'D', 0.95, 0.00, 0.05, 0.0, 0.0, Distribution::kLatest, 100},
+      {'E', 0.00, 0.00, 0.05, 0.95, 0.0, Distribution::kZipfian, 100},
+      {'F', 0.50, 0.00, 0.0, 0.0, 0.50, Distribution::kZipfian, 100},
+  };
+  for (const YcsbSpec& spec : kSpecs) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace bench
+}  // namespace unikv

@@ -1,0 +1,72 @@
+#ifndef UNIKV_BENCHUTIL_WORKLOAD_H_
+#define UNIKV_BENCHUTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+
+namespace unikv {
+namespace bench {
+
+/// Key-chooser distributions used by the benchmark harness; zipfian and
+/// latest follow the YCSB core definitions.
+enum class Distribution {
+  kSequential,
+  kUniform,
+  kZipfian,
+  kLatest,
+};
+
+/// Generates keys over the id space [0, num_keys) under a distribution.
+/// Ids are formatted as fixed-width keys ("user<digits>") so byte order
+/// matches numeric order.
+class KeyGenerator {
+ public:
+  KeyGenerator(Distribution dist, uint64_t num_keys, uint32_t seed,
+               double zipf_theta = 0.99);
+
+  /// Next key id.
+  uint64_t NextId();
+
+  /// Formats a key id.
+  static std::string Key(uint64_t id);
+
+  /// For kLatest: tracks the insertion frontier.
+  void AdvanceFrontier() { frontier_++; }
+  void SetFrontier(uint64_t n) { frontier_ = n; }
+
+ private:
+  Distribution dist_;
+  uint64_t num_keys_;
+  Random rnd_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  uint64_t next_seq_ = 0;
+  uint64_t frontier_ = 0;
+};
+
+/// Deterministic value payload for a key id.
+std::string MakeValue(uint64_t id, size_t value_size);
+
+/// One YCSB core workload specification.
+struct YcsbSpec {
+  char name;           // 'A'..'F'
+  double read_ratio;
+  double update_ratio;
+  double insert_ratio;
+  double scan_ratio;
+  double rmw_ratio;    // Read-modify-write (workload F).
+  Distribution dist;
+  int scan_max_len = 100;
+};
+
+/// The six YCSB core workloads (A: 50/50 r/u zipf, B: 95/5 r/u zipf,
+/// C: 100 r zipf, D: 95/5 r/insert latest, E: 95/5 scan/insert zipf,
+/// F: 50/50 r/rmw zipf).
+const YcsbSpec* GetYcsbSpec(char name);
+
+}  // namespace bench
+}  // namespace unikv
+
+#endif  // UNIKV_BENCHUTIL_WORKLOAD_H_

@@ -1,0 +1,990 @@
+// Background maintenance for UniKVDB: memtable flushes, UnsortedStore ->
+// SortedStore merges with partial KV separation, size-based scan merges,
+// value-log garbage collection, and dynamic range-partition splits.
+
+#include <algorithm>
+
+#include "core/filename.h"
+#include "core/merging_iterator.h"
+#include "core/unikv_db.h"
+#include "util/env.h"
+
+namespace unikv {
+
+// ------------------------------------------------------------- scheduling
+
+void UniKVDB::MaybeScheduleWork() { bg_work_cv_.notify_all(); }
+
+bool UniKVDB::HasWorkPending() {
+  if (imm_ != nullptr) return true;
+  VersionPtr ver = versions_->current();
+  for (const auto& p : ver->partitions) {
+    const uint64_t unsorted_bytes = p->UnsortedBytes();
+    if (unsorted_bytes >= options_.unsorted_limit) return true;
+    if (compact_all_ && !p->unsorted.empty()) return true;
+    if (options_.enable_partitioning && p->sorted.size() >= 2 &&
+        p->LogicalBytes() >= options_.partition_size_limit) {
+      return true;
+    }
+    if (options_.enable_scan_optimization &&
+        static_cast<int>(p->unsorted.size()) >= options_.scan_merge_limit) {
+      return true;
+    }
+    auto git = vlog_garbage_.find(p->id);
+    const uint64_t garbage = git == vlog_garbage_.end() ? 0 : git->second;
+    if (garbage >= options_.gc_garbage_threshold) return true;
+    if (compact_all_ && garbage > 0 && !p->vlogs.empty()) return true;
+  }
+  return false;
+}
+
+UniKVDB::WorkItem UniKVDB::PickWork() {
+  WorkItem item;
+  if (imm_ != nullptr) {
+    item.kind = WorkKind::kFlush;
+    return item;
+  }
+  VersionPtr ver = versions_->current();
+
+  // 1. Merges (paper: UnsortedLimit reached), largest backlog first.
+  uint64_t best = 0;
+  for (const auto& p : ver->partitions) {
+    const uint64_t unsorted_bytes = p->UnsortedBytes();
+    const bool want =
+        unsorted_bytes >= options_.unsorted_limit ||
+        (compact_all_ && !p->unsorted.empty());
+    if (want && unsorted_bytes >= best) {
+      best = unsorted_bytes;
+      item.kind = WorkKind::kMerge;
+      item.partition = p;
+    }
+  }
+  if (item.kind != WorkKind::kNone) return item;
+
+  // 2. Splits (dynamic range partitioning). A partition with unsorted data
+  //    is merged first (the paper treats a split as compaction + GC run
+  //    sequentially).
+  if (options_.enable_partitioning) {
+    for (const auto& p : ver->partitions) {
+      if (p->LogicalBytes() >= options_.partition_size_limit) {
+        if (!p->unsorted.empty()) {
+          item.kind = WorkKind::kMerge;
+        } else if (p->sorted.size() >= 2) {
+          item.kind = WorkKind::kSplit;
+        } else {
+          continue;
+        }
+        item.partition = p;
+        return item;
+      }
+    }
+  }
+
+  // 3. Size-based scan merge (scanMergeLimit unsorted tables).
+  if (options_.enable_scan_optimization) {
+    for (const auto& p : ver->partitions) {
+      if (static_cast<int>(p->unsorted.size()) >= options_.scan_merge_limit) {
+        item.kind = WorkKind::kScanMerge;
+        item.partition = p;
+        return item;
+      }
+    }
+  }
+
+  // 4. GC: greedy — the partition with the most reclaimable garbage.
+  best = 0;
+  for (const auto& p : ver->partitions) {
+    auto git = vlog_garbage_.find(p->id);
+    const uint64_t garbage = git == vlog_garbage_.end() ? 0 : git->second;
+    const bool want = garbage >= options_.gc_garbage_threshold ||
+                      (compact_all_ && garbage > 0 && !p->vlogs.empty());
+    if (want && garbage >= best && !p->vlogs.empty()) {
+      best = garbage;
+      item.kind = WorkKind::kGc;
+      item.partition = p;
+    }
+  }
+  return item;
+}
+
+void UniKVDB::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    bg_work_cv_.wait(lock, [this] {
+      return shutting_down_ || (bg_error_.ok() && HasWorkPending());
+    });
+    if (shutting_down_) break;
+    WorkItem item = PickWork();
+    if (item.kind == WorkKind::kNone) {
+      continue;
+    }
+    bg_work_scheduled_ = true;
+    lock.unlock();
+    Status s = DispatchWork(item);
+    if (!s.ok()) {
+      RecordBackgroundError(s);
+    }
+    RemoveObsoleteFiles();
+    lock.lock();
+    bg_work_scheduled_ = false;
+    bg_cv_.notify_all();
+  }
+  bg_work_scheduled_ = false;
+  bg_cv_.notify_all();
+}
+
+Status UniKVDB::DispatchWork(const WorkItem& item) {
+  switch (item.kind) {
+    case WorkKind::kFlush:
+      return CompactMemTable();
+    case WorkKind::kMerge:
+      return MergePartition(item.partition);
+    case WorkKind::kScanMerge:
+      return ScanMergePartition(item.partition);
+    case WorkKind::kGc:
+      return GcPartition(item.partition);
+    case WorkKind::kSplit:
+      return SplitPartition(item.partition);
+    case WorkKind::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+void UniKVDB::RecordBackgroundError(const Status& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+  }
+  bg_cv_.notify_all();
+}
+
+Status UniKVDB::FlushMemTable() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait out any in-flight flush first, so the active memtable (which may
+  // hold entries written while that flush ran) rotates out too.
+  bg_cv_.wait(lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
+  if (!bg_error_.ok()) return bg_error_;
+  if (mem_->NumEntries() == 0) return Status::OK();
+  Status s = SwitchWal();
+  if (!s.ok()) return s;
+  imm_ = mem_;
+  mem_ = new MemTable(icmp_);
+  mem_->Ref();
+  bg_work_cv_.notify_all();
+  bg_cv_.wait(lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
+  return bg_error_;
+}
+
+Status UniKVDB::CompactAll() {
+  Status s = FlushMemTable();
+  if (!s.ok()) return s;
+  std::unique_lock<std::mutex> lock(mu_);
+  compact_all_ = true;
+  bg_work_cv_.notify_all();
+  bg_cv_.wait(lock, [this] {
+    return (!HasWorkPending() && !bg_work_scheduled_) || !bg_error_.ok();
+  });
+  compact_all_ = false;
+  return bg_error_;
+}
+
+// ------------------------------------------------------------------ flush
+
+Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
+                                        std::vector<FlushOutput>* outputs) {
+  VersionPtr ver;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ver = versions_->current();
+  }
+
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+  iter->SeekToFirst();
+  Status s;
+
+  // Entries come out in internal-key order; route each run of keys to its
+  // partition, building one table per partition touched.
+  struct Builder {
+    FlushOutput out;
+    std::unique_ptr<WritableFile> file;
+    std::unique_ptr<TableBuilder> builder;
+    std::string first_key, last_key;
+  };
+  std::unordered_map<uint32_t, Builder> builders;
+
+  for (; iter->Valid(); iter->Next()) {
+    Slice internal_key = iter->key();
+    Slice user_key = ExtractUserKey(internal_key);
+    int pi = ver->FindPartition(user_key);
+    const PartitionState& p = *ver->partitions[pi];
+
+    Builder& b = builders[p.id];
+    if (b.builder == nullptr) {
+      uint64_t number;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        number = versions_->NewFileNumber();
+        pending_outputs_.insert(number);
+      }
+      b.out.pid = p.id;
+      b.out.meta.number = number;
+      uint16_t max_id = 0;
+      for (const FileMeta& f : p.unsorted) {
+        if (f.table_id >= max_id) max_id = f.table_id + 1;
+      }
+      b.out.meta.table_id = max_id;
+      s = env_->NewWritableFile(TableFileName(dbname_, number), &b.file);
+      if (!s.ok()) return s;
+      b.builder =
+          std::make_unique<TableBuilder>(options_.table_options, b.file.get());
+    }
+    b.builder->Add(internal_key, iter->value());
+    b.out.meta.logical += user_key.size() + iter->value().size();
+    if (b.first_key.empty()) {
+      b.first_key = user_key.ToString();
+    }
+    b.last_key = user_key.ToString();
+    if (b.out.keys.empty() || Slice(b.out.keys.back()) != user_key) {
+      b.out.keys.push_back(user_key.ToString());
+    }
+  }
+  s = iter->status();
+
+  for (auto& [pid, b] : builders) {
+    if (s.ok()) {
+      s = b.builder->Finish();
+    } else {
+      b.builder->Abandon();
+    }
+    if (s.ok()) s = b.file->Sync();
+    if (s.ok()) s = b.file->Close();
+    if (s.ok()) {
+      b.out.meta.size = b.builder->FileSize();
+      b.out.meta.smallest = b.first_key;
+      b.out.meta.largest = b.last_key;
+      edit->AddUnsortedFile(pid, b.out.meta);
+      outputs->push_back(std::move(b.out));
+      stats_.flush_bytes += b.out.meta.size;
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------- helpers
+
+namespace {
+
+// Writes a hash-index checkpoint image with an explicit covered-id list.
+Status WriteCheckpointFile(Env* env, const std::string& fname,
+                           const HashIndex& index,
+                           const std::vector<uint16_t>& covered_ids) {
+  std::string image;
+  PutVarint32(&image, static_cast<uint32_t>(covered_ids.size()));
+  for (uint16_t id : covered_ids) PutVarint32(&image, id);
+  index.EncodeTo(&image);
+
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(image);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  return s;
+}
+
+}  // namespace
+
+Status UniKVDB::CompactMemTable() {
+  MemTable* mem;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mem = imm_;
+  }
+  assert(mem != nullptr);
+
+  VersionEdit edit;
+  std::vector<FlushOutput> outputs;
+  Status s = FlushMemTableToUnsorted(mem, &edit, &outputs);
+  if (!s.ok()) return s;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  edit.SetLogNumber(wal_number_);
+
+  // Bring the hash indexes up to date before the new version becomes
+  // visible (both are installed under this same mutex hold, so readers
+  // always observe a consistent pair).
+  for (const FlushOutput& out : outputs) {
+    auto index = GetOrCreateIndex(out.pid);
+    for (const std::string& key : out.keys) {
+      index->Insert(key, out.meta.table_id);
+    }
+  }
+
+  // Periodic hash-index checkpointing (paper: every UnsortedLimit/2 of
+  // flushed tables).
+  if (options_.index_checkpoint_interval > 0) {
+    VersionPtr ver = versions_->current();
+    for (const FlushOutput& out : outputs) {
+      int& counter = flushes_since_checkpoint_[out.pid];
+      counter++;
+      if (counter < options_.index_checkpoint_interval) continue;
+
+      std::vector<uint16_t> covered;
+      for (const auto& p : ver->partitions) {
+        if (p->id == out.pid) {
+          for (const FileMeta& f : p->unsorted) covered.push_back(f.table_id);
+        }
+      }
+      for (const FlushOutput& o2 : outputs) {
+        if (o2.pid == out.pid) covered.push_back(o2.meta.table_id);
+      }
+      uint64_t number = versions_->NewFileNumber();
+      pending_outputs_.insert(number);
+      auto index = GetOrCreateIndex(out.pid);
+      Status cs = WriteCheckpointFile(
+          env_, IndexCheckpointFileName(dbname_, number), *index, covered);
+      if (cs.ok()) {
+        edit.SetIndexCheckpoint(out.pid, number);
+        counter = 0;
+      } else {
+        pending_outputs_.erase(number);
+      }
+    }
+  }
+
+  s = versions_->LogAndApply(&edit);
+  for (const FlushOutput& out : outputs) {
+    pending_outputs_.erase(out.meta.number);
+  }
+  if (s.ok()) {
+    stats_.flushes++;
+    imm_->Unref();
+    imm_ = nullptr;
+  }
+  bg_cv_.notify_all();
+  return s;
+}
+
+// ------------------------------------------------------------------ merge
+
+Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
+  const uint32_t pid = p->id;
+  const bool separate = options_.enable_kv_separation;
+
+  // Inputs: every unsorted table + the sorted run.
+  std::vector<Iterator*> children;
+  uint64_t bytes_read = 0;
+  for (const FileMeta& f : p->unsorted) {
+    children.push_back(table_cache_->NewIterator(f.number, f.size));
+    bytes_read += f.size;
+  }
+  if (!p->sorted.empty()) {
+    std::vector<Iterator*> run;
+    for (const FileMeta& f : p->sorted) {
+      run.push_back(table_cache_->NewIterator(f.number, f.size));
+      bytes_read += f.size;
+    }
+    children.push_back(NewConcatenatingIterator(icmp_, std::move(run)));
+  }
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp_, std::move(children)));
+
+  // Output value log (partial KV separation: only values arriving from
+  // the UnsortedStore are appended; SortedStore values keep their existing
+  // pointers).
+  std::unique_ptr<ValueLogWriter> vlog;
+  uint64_t vlog_number = 0;
+  if (separate) {
+    std::lock_guard<std::mutex> lock(mu_);
+    vlog_number = versions_->NewFileNumber();
+    pending_outputs_.insert(vlog_number);
+  }
+  if (separate) {
+    std::unique_ptr<WritableFile> vfile;
+    Status s =
+        env_->NewWritableFile(ValueLogFileName(dbname_, vlog_number), &vfile);
+    if (!s.ok()) return s;
+    vlog = std::make_unique<ValueLogWriter>(std::move(vfile), pid,
+                                            vlog_number);
+  }
+
+  // Output tables.
+  struct Output {
+    FileMeta meta;
+  };
+  std::vector<Output> outputs;
+  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  std::string first_key;
+  uint64_t garbage_added = 0;
+  uint64_t bytes_written = 0;
+  Status s;
+
+  auto rotate_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    Status rs = builder->Finish();
+    if (rs.ok()) rs = out_file->Sync();
+    if (rs.ok()) rs = out_file->Close();
+    if (rs.ok()) {
+      outputs.back().meta.size = builder->FileSize();
+      bytes_written += builder->FileSize();
+    }
+    builder.reset();
+    out_file.reset();
+    return rs;
+  };
+  auto open_output = [&]() -> Status {
+    uint64_t number;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      number = versions_->NewFileNumber();
+      pending_outputs_.insert(number);
+    }
+    outputs.emplace_back();
+    outputs.back().meta.number = number;
+    Status rs = env_->NewWritableFile(TableFileName(dbname_, number), &out_file);
+    if (!rs.ok()) return rs;
+    builder =
+        std::make_unique<TableBuilder>(options_.table_options, out_file.get());
+    first_key.clear();
+    return Status::OK();
+  };
+
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  std::string rewritten;
+
+  for (merged->SeekToFirst(); s.ok() && merged->Valid(); merged->Next()) {
+    Slice internal_key = merged->key();
+    ParsedInternalKey ikey;
+    if (!ParseInternalKey(internal_key, &ikey)) {
+      s = Status::Corruption("corrupt internal key during merge");
+      break;
+    }
+
+    const bool first_occurrence =
+        !has_current_user_key ||
+        ikey.user_key.compare(Slice(current_user_key)) != 0;
+    if (first_occurrence) {
+      current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+      has_current_user_key = true;
+    } else {
+      // An older, shadowed version: drop it. If it pointed into a value
+      // log, its record becomes garbage.
+      if (ikey.type == kTypeValuePointer) {
+        ValuePointer ptr;
+        Slice encoded = merged->value();
+        if (ptr.DecodeFrom(&encoded)) garbage_added += ptr.size;
+      }
+      continue;
+    }
+
+    if (ikey.type == kTypeDeletion) {
+      // The SortedStore is the terminal level: tombstones die here.
+      continue;
+    }
+
+    Slice out_value = merged->value();
+    ValueType out_type = ikey.type;
+    if (ikey.type == kTypeValue && separate &&
+        out_value.size() >= options_.value_separation_threshold) {
+      // Value arriving from the UnsortedStore: separate it. Values below
+      // the separation threshold stay inline (differentiated management
+      // of small KVs, paper §Memory overhead discussion).
+      ValuePointer ptr;
+      s = vlog->Add(ikey.user_key, out_value, &ptr);
+      if (!s.ok()) break;
+      rewritten.clear();
+      ptr.EncodeTo(&rewritten);
+      out_value = Slice(rewritten);
+      out_type = kTypeValuePointer;
+    }
+
+    if (builder == nullptr) {
+      s = open_output();
+      if (!s.ok()) break;
+    }
+    std::string out_key;
+    AppendInternalKey(&out_key,
+                      ParsedInternalKey(ikey.user_key, ikey.sequence,
+                                        out_type));
+    builder->Add(out_key, out_value);
+    // Logical bytes: key plus the value the entry governs (the pointed-to
+    // record for separated values).
+    uint64_t governed = ikey.user_key.size();
+    if (out_type == kTypeValuePointer) {
+      ValuePointer p2;
+      Slice encoded2(out_value);
+      if (p2.DecodeFrom(&encoded2)) governed += p2.size;
+    } else {
+      governed += out_value.size();
+    }
+    outputs.back().meta.logical += governed;
+    if (first_key.empty()) first_key = ikey.user_key.ToString();
+    outputs.back().meta.smallest = first_key;
+    outputs.back().meta.largest = ikey.user_key.ToString();
+
+    // Rotate on physical size OR governed logical size, so a partition
+    // large in *values* still produces multiple tables (split points).
+    const uint64_t rotation_logical =
+        std::max<uint64_t>(options_.sorted_table_size,
+                           options_.partition_size_limit / 8);
+    if (builder->FileSize() >= options_.sorted_table_size ||
+        outputs.back().meta.logical >= rotation_logical) {
+      s = rotate_output();
+      if (!s.ok()) break;
+    }
+  }
+  if (s.ok()) s = merged->status();
+  if (s.ok()) {
+    s = rotate_output();
+  } else if (builder != nullptr) {
+    builder->Abandon();
+    builder.reset();
+  }
+
+  uint64_t vlog_size = 0;
+  if (s.ok() && vlog != nullptr) {
+    vlog_size = vlog->CurrentOffset();
+    if (vlog_size > 0) {
+      s = vlog->Sync();
+      if (s.ok()) s = vlog->Close();
+      bytes_written += vlog_size;
+    }
+  }
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Output& out : outputs) pending_outputs_.erase(out.meta.number);
+    if (separate) pending_outputs_.erase(vlog_number);
+    return s;
+  }
+
+  // Install: the partition's unsorted files and previous sorted files are
+  // replaced wholesale; old value logs stay (their dead records are GC'ed
+  // later).
+  VersionEdit edit;
+  for (const FileMeta& f : p->unsorted) edit.RemoveUnsortedFile(pid, f.number);
+  for (const FileMeta& f : p->sorted) edit.RemoveSortedFile(pid, f.number);
+  for (const Output& out : outputs) edit.AddSortedFile(pid, out.meta);
+  if (separate && vlog_size > 0) {
+    VlogMeta v;
+    v.number = vlog_number;
+    v.size = vlog_size;
+    edit.AddValueLog(pid, v);
+  }
+  edit.SetIndexCheckpoint(pid, 0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  s = versions_->LogAndApply(&edit);
+  for (const Output& out : outputs) pending_outputs_.erase(out.meta.number);
+  if (separate) pending_outputs_.erase(vlog_number);
+  if (s.ok()) {
+    auto it = indexes_.find(pid);
+    if (it != indexes_.end()) it->second->Clear();
+    flushes_since_checkpoint_[pid] = 0;
+    vlog_garbage_[pid] += garbage_added;
+    stats_.merges++;
+    stats_.merge_bytes_read += bytes_read;
+    stats_.merge_bytes_written += bytes_written;
+  }
+  bg_cv_.notify_all();
+  return s;
+}
+
+// ------------------------------------------------------------- scan merge
+
+Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
+  const uint32_t pid = p->id;
+  if (p->unsorted.size() < 2) return Status::OK();
+
+  std::vector<Iterator*> children;
+  uint16_t new_table_id = 0;
+  for (const FileMeta& f : p->unsorted) {
+    children.push_back(table_cache_->NewIterator(f.number, f.size));
+    if (f.table_id >= new_table_id) new_table_id = f.table_id + 1;
+  }
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp_, std::move(children)));
+
+  uint64_t number;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    number = versions_->NewFileNumber();
+    pending_outputs_.insert(number);
+  }
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(TableFileName(dbname_, number), &file);
+  if (!s.ok()) return s;
+  TableBuilder builder(options_.table_options, file.get());
+
+  FileMeta meta;
+  meta.number = number;
+  meta.table_id = new_table_id;
+  std::vector<std::string> keys;
+  std::string current_user_key;
+  bool has_current = false;
+
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    Slice internal_key = merged->key();
+    Slice user_key = ExtractUserKey(internal_key);
+    if (has_current && user_key.compare(Slice(current_user_key)) == 0) {
+      continue;  // Older version within the UnsortedStore: drop.
+    }
+    current_user_key.assign(user_key.data(), user_key.size());
+    has_current = true;
+    // Tombstones are preserved: they still shadow the SortedStore.
+    builder.Add(internal_key, merged->value());
+    keys.push_back(current_user_key);
+    if (meta.smallest.empty()) meta.smallest = current_user_key;
+    meta.largest = current_user_key;
+  }
+  s = merged->status();
+  if (s.ok()) {
+    s = builder.Finish();
+  } else {
+    builder.Abandon();
+  }
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_outputs_.erase(number);
+    return s;
+  }
+  meta.size = builder.FileSize();
+
+  VersionEdit edit;
+  for (const FileMeta& f : p->unsorted) edit.RemoveUnsortedFile(pid, f.number);
+  edit.AddUnsortedFile(pid, meta);
+  edit.SetIndexCheckpoint(pid, 0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  s = versions_->LogAndApply(&edit);
+  pending_outputs_.erase(number);
+  if (s.ok()) {
+    // Rebuild the hash index to point at the consolidated table.
+    auto index = GetOrCreateIndex(pid);
+    index->Clear();
+    for (const std::string& key : keys) {
+      index->Insert(key, new_table_id);
+    }
+    flushes_since_checkpoint_[pid] = 0;
+    stats_.scan_merges++;
+  }
+  bg_cv_.notify_all();
+  return s;
+}
+
+// --------------------------------------------------------------------- GC
+
+Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
+  const uint32_t pid = p->id;
+  if (p->sorted.empty() || p->vlogs.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    vlog_garbage_[pid] = 0;
+    return Status::OK();
+  }
+
+  // New value log for the rewritten live values.
+  uint64_t vlog_number;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    vlog_number = versions_->NewFileNumber();
+    pending_outputs_.insert(vlog_number);
+  }
+  std::unique_ptr<WritableFile> vfile;
+  Status s =
+      env_->NewWritableFile(ValueLogFileName(dbname_, vlog_number), &vfile);
+  if (!s.ok()) return s;
+  ValueLogWriter vlog(std::move(vfile), pid, vlog_number);
+
+  // Scan the SortedStore (the authority on liveness), fetch every live
+  // value, append it to the new log, and write back keys + new pointers.
+  std::vector<Iterator*> run;
+  uint64_t bytes_read = 0;
+  for (const FileMeta& f : p->sorted) {
+    run.push_back(table_cache_->NewIterator(f.number, f.size));
+    bytes_read += f.size;
+  }
+  std::unique_ptr<Iterator> iter(
+      NewConcatenatingIterator(icmp_, std::move(run)));
+
+  std::vector<FileMeta> outputs;
+  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  uint64_t bytes_written = 0;
+
+  auto rotate_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    Status rs = builder->Finish();
+    if (rs.ok()) rs = out_file->Sync();
+    if (rs.ok()) rs = out_file->Close();
+    if (rs.ok()) {
+      outputs.back().size = builder->FileSize();
+      bytes_written += builder->FileSize();
+    }
+    builder.reset();
+    out_file.reset();
+    return rs;
+  };
+  auto open_output = [&]() -> Status {
+    uint64_t number;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      number = versions_->NewFileNumber();
+      pending_outputs_.insert(number);
+    }
+    outputs.emplace_back();
+    outputs.back().number = number;
+    Status rs = env_->NewWritableFile(TableFileName(dbname_, number), &out_file);
+    if (!rs.ok()) return rs;
+    builder =
+        std::make_unique<TableBuilder>(options_.table_options, out_file.get());
+    return Status::OK();
+  };
+
+  // Batched parallel fetch of live values through the thread pool.
+  struct Entry {
+    std::string internal_key;
+    std::string value;  // Encoded pointer (in) -> value bytes (out).
+    bool is_pointer = false;
+    ValuePointer ptr;
+    Status status;
+  };
+  std::vector<Entry> batch;
+  const size_t kBatchSize = 256;
+  std::string rewritten;
+
+  auto flush_batch = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    if (options_.enable_scan_optimization && batch.size() > 1) {
+      for (Entry& e : batch) {
+        if (!e.is_pointer) continue;
+        fetch_pool_->Schedule([this, &e] {
+          std::string stored_key;
+          e.status = vlog_cache_->Get(e.ptr, &e.value, &stored_key);
+        });
+      }
+      fetch_pool_->WaitIdle();
+    } else {
+      for (Entry& e : batch) {
+        if (!e.is_pointer) continue;
+        e.status = vlog_cache_->Get(e.ptr, &e.value);
+      }
+    }
+    for (Entry& e : batch) {
+      if (!e.status.ok()) return e.status;
+      Slice user_key = ExtractUserKey(e.internal_key);
+      Slice out_value(e.value);
+      std::string encoded;
+      if (e.is_pointer) {
+        bytes_read += e.ptr.size;
+        ValuePointer new_ptr;
+        Status rs = vlog.Add(user_key, e.value, &new_ptr);
+        if (!rs.ok()) return rs;
+        encoded.clear();
+        new_ptr.EncodeTo(&encoded);
+        out_value = Slice(encoded);
+      }
+      if (builder == nullptr) {
+        Status rs = open_output();
+        if (!rs.ok()) return rs;
+      }
+      builder->Add(e.internal_key, out_value);
+      uint64_t governed = user_key.size();
+      if (e.is_pointer) {
+        governed += e.value.size();
+      } else {
+        governed += out_value.size();
+      }
+      outputs.back().logical += governed;
+      if (outputs.back().smallest.empty()) {
+        outputs.back().smallest = user_key.ToString();
+      }
+      outputs.back().largest = user_key.ToString();
+      const uint64_t rotation_logical =
+          std::max<uint64_t>(options_.sorted_table_size,
+                             options_.partition_size_limit / 8);
+      if (builder->FileSize() >= options_.sorted_table_size ||
+          outputs.back().logical >= rotation_logical) {
+        Status rs = rotate_output();
+        if (!rs.ok()) return rs;
+      }
+    }
+    batch.clear();
+    return Status::OK();
+  };
+
+  for (iter->SeekToFirst(); s.ok() && iter->Valid(); iter->Next()) {
+    Entry e;
+    e.internal_key = iter->key().ToString();
+    ValueType type = ExtractValueType(iter->key());
+    if (type == kTypeValuePointer) {
+      Slice encoded = iter->value();
+      if (!e.ptr.DecodeFrom(&encoded)) {
+        s = Status::Corruption("bad value pointer during GC");
+        break;
+      }
+      e.is_pointer = true;
+    } else {
+      e.value = iter->value().ToString();
+    }
+    batch.push_back(std::move(e));
+    if (batch.size() >= kBatchSize) {
+      s = flush_batch();
+    }
+  }
+  if (s.ok()) s = iter->status();
+  if (s.ok()) s = flush_batch();
+  if (s.ok()) s = rotate_output();
+
+  uint64_t vlog_size = vlog.CurrentOffset();
+  if (s.ok() && vlog_size > 0) {
+    s = vlog.Sync();
+    if (s.ok()) s = vlog.Close();
+    bytes_written += vlog_size;
+  }
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const FileMeta& f : outputs) pending_outputs_.erase(f.number);
+    pending_outputs_.erase(vlog_number);
+    if (builder != nullptr) builder->Abandon();
+    return s;
+  }
+
+  // Install atomically: old sorted tables and this partition's references
+  // to the old logs go away; shared logs survive physically until the
+  // sibling partition GCs too (lazy split completion).
+  VersionEdit edit;
+  for (const FileMeta& f : p->sorted) edit.RemoveSortedFile(pid, f.number);
+  for (const VlogMeta& v : p->vlogs) edit.RemoveValueLog(pid, v.number);
+  for (const FileMeta& f : outputs) edit.AddSortedFile(pid, f);
+  if (vlog_size > 0) {
+    VlogMeta v;
+    v.number = vlog_number;
+    v.size = vlog_size;
+    edit.AddValueLog(pid, v);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  s = versions_->LogAndApply(&edit);
+  for (const FileMeta& f : outputs) pending_outputs_.erase(f.number);
+  pending_outputs_.erase(vlog_number);
+  if (s.ok()) {
+    vlog_garbage_[pid] = 0;
+    stats_.gcs++;
+    stats_.gc_bytes_read += bytes_read;
+    stats_.gc_bytes_written += bytes_written;
+  }
+  bg_cv_.notify_all();
+  return s;
+}
+
+// ------------------------------------------------------------------ split
+
+Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
+  // Preconditions (ensured by PickWork): no unsorted tables, >= 2 sorted
+  // tables. The key split is metadata-only because the sorted run already
+  // consists of disjoint tables; values are split lazily by later GC
+  // (paper: lazy split scheme integrated with GC).
+  assert(p->unsorted.empty());
+  assert(p->sorted.size() >= 2);
+
+  uint64_t total = 0;
+  for (const FileMeta& f : p->sorted) total += f.logical;
+  uint64_t cum = 0;
+  size_t k = 0;
+  for (; k + 1 < p->sorted.size(); k++) {
+    cum += p->sorted[k].logical;
+    if (cum >= total / 2) {
+      k++;
+      break;
+    }
+  }
+  if (k == 0 || k >= p->sorted.size()) k = p->sorted.size() / 2;
+  if (k == 0) k = 1;
+  const std::string boundary = p->sorted[k].smallest;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t npid = versions_->NewPartitionId();
+  VersionEdit edit;
+  edit.AddPartition(npid, boundary);
+  for (size_t i = k; i < p->sorted.size(); i++) {
+    edit.RemoveSortedFile(p->id, p->sorted[i].number);
+    edit.AddSortedFile(npid, p->sorted[i]);
+  }
+  // Both children reference the old value logs until lazy GC segregates
+  // the live values.
+  for (const VlogMeta& v : p->vlogs) {
+    edit.AddValueLog(npid, v);
+  }
+
+  Status s = versions_->LogAndApply(&edit);
+  if (s.ok()) {
+    indexes_[npid] = std::make_shared<HashIndex>(IndexExpectedEntries(),
+                                                 options_.index_num_hashes);
+    uint64_t garbage = vlog_garbage_[p->id];
+    vlog_garbage_[p->id] = garbage / 2;
+    vlog_garbage_[npid] = garbage - garbage / 2;
+    flushes_since_checkpoint_[npid] = 0;
+    stats_.splits++;
+  }
+  bg_cv_.notify_all();
+  return s;
+}
+
+// --------------------------------------------------------- obsolete files
+
+void UniKVDB::RemoveObsoleteFiles() {
+  std::set<uint64_t> live;
+  uint64_t log_number, manifest_number;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!bg_error_.ok()) return;  // Unsure about state: keep everything.
+    versions_->AddLiveFiles(&live);
+    live.insert(pending_outputs_.begin(), pending_outputs_.end());
+    log_number = versions_->LogNumber();
+    manifest_number = versions_->ManifestFileNumber();
+  }
+
+  std::vector<std::string> children;
+  if (!env_->GetChildren(dbname_, &children).ok()) return;
+
+  for (const std::string& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type)) continue;
+    bool keep = true;
+    switch (type) {
+      case FileType::kWalFile:
+        keep = number >= log_number;
+        break;
+      case FileType::kManifestFile:
+        keep = number == manifest_number;
+        break;
+      case FileType::kTableFile:
+      case FileType::kValueLogFile:
+      case FileType::kIndexCheckpoint:
+        keep = live.count(number) > 0;
+        break;
+      case FileType::kTempFile:
+        keep = false;
+        break;
+      case FileType::kCurrentFile:
+      case FileType::kUnknown:
+        keep = true;
+        break;
+    }
+    if (!keep) {
+      if (type == FileType::kTableFile) {
+        table_cache_->Evict(number);
+      } else if (type == FileType::kValueLogFile) {
+        vlog_cache_->Evict(0, number);
+      }
+      env_->RemoveFile(dbname_ + "/" + child);
+    }
+  }
+}
+
+}  // namespace unikv

@@ -1,0 +1,155 @@
+#ifndef UNIKV_CORE_DBFORMAT_H_
+#define UNIKV_CORE_DBFORMAT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace unikv {
+
+/// Monotonic sequence number assigned to every write.
+using SequenceNumber = uint64_t;
+
+// Leave room for the 8-bit type tag in the packed trailer.
+static constexpr SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
+
+/// Entry types stored in the trailer of an internal key.
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  /// The value bytes follow inline (memtable / UnsortedStore entries).
+  kTypeValue = 0x1,
+  /// The value field is an encoded ValuePointer into a value log
+  /// (SortedStore entries after partial KV separation).
+  kTypeValuePointer = 0x2,
+};
+
+/// kValueTypeForSeek is the highest-numbered type, so that a seek to a
+/// (user_key, seq) positions before all entries for that user key with
+/// sequence <= seq.
+static constexpr ValueType kValueTypeForSeek = kTypeValuePointer;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  assert(seq <= kMaxSequenceNumber);
+  return (seq << 8) | t;
+}
+
+/// An internal key is: user_key bytes + 8-byte packed (seq<<8 | type).
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence;
+  ValueType type;
+
+  ParsedInternalKey() {}
+  ParsedInternalKey(const Slice& u, const SequenceNumber& seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+inline void AppendInternalKey(std::string* result,
+                              const ParsedInternalKey& key) {
+  result->append(key.user_key.data(), key.user_key.size());
+  PutFixed64(result, PackSequenceAndType(key.sequence, key.type));
+}
+
+inline bool ParseInternalKey(const Slice& internal_key,
+                             ParsedInternalKey* result) {
+  const size_t n = internal_key.size();
+  if (n < 8) return false;
+  uint64_t num = DecodeFixed64(internal_key.data() + n - 8);
+  uint8_t c = num & 0xff;
+  result->sequence = num >> 8;
+  result->type = static_cast<ValueType>(c);
+  result->user_key = Slice(internal_key.data(), n - 8);
+  return c <= static_cast<uint8_t>(kTypeValuePointer);
+}
+
+/// Returns the user key portion of an internal key.
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8) >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return static_cast<ValueType>(
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8) & 0xff);
+}
+
+/// Orders internal keys by user key ascending, then by sequence number
+/// descending (newer entries first), then type descending.
+class InternalKeyComparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r == 0) {
+      const uint64_t anum = DecodeFixed64(a.data() + a.size() - 8);
+      const uint64_t bnum = DecodeFixed64(b.data() + b.size() - 8);
+      if (anum > bnum) {
+        r = -1;
+      } else if (anum < bnum) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  int operator()(const Slice& a, const Slice& b) const { return Compare(a, b); }
+};
+
+/// A helper to format a (user_key, sequence) pair for memtable lookup:
+///   klength varint32 | userkey | seq<<8|kValueTypeForSeek
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence);
+  ~LookupKey();
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  /// Key suitable for the memtable's internal format (length-prefixed).
+  Slice memtable_key() const { return Slice(start_, end_ - start_); }
+  /// The internal key (userkey + trailer).
+  Slice internal_key() const { return Slice(kstart_, end_ - kstart_); }
+  /// The user key.
+  Slice user_key() const { return Slice(kstart_, end_ - kstart_ - 8); }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char space_[200];  // Avoids allocation for short keys.
+};
+
+inline LookupKey::LookupKey(const Slice& user_key, SequenceNumber s) {
+  size_t usize = user_key.size();
+  size_t needed = usize + 13;  // A conservative estimate.
+  char* dst;
+  if (needed <= sizeof(space_)) {
+    dst = space_;
+  } else {
+    dst = new char[needed];
+  }
+  start_ = dst;
+  dst = EncodeVarint32(dst, static_cast<uint32_t>(usize + 8));
+  kstart_ = dst;
+  std::memcpy(dst, user_key.data(), usize);
+  dst += usize;
+  EncodeFixed64(dst, PackSequenceAndType(s, kValueTypeForSeek));
+  dst += 8;
+  end_ = dst;
+}
+
+inline LookupKey::~LookupKey() {
+  if (start_ != space_) delete[] start_;
+}
+
+}  // namespace unikv
+
+#endif  // UNIKV_CORE_DBFORMAT_H_

@@ -1,0 +1,50 @@
+#include "core/iterator.h"
+
+namespace unikv {
+
+Iterator::~Iterator() {
+  Cleanup* c = cleanup_head_;
+  while (c != nullptr) {
+    c->fn();
+    Cleanup* next = c->next;
+    delete c;
+    c = next;
+  }
+}
+
+void Iterator::RegisterCleanup(std::function<void()> fn) {
+  Cleanup* c = new Cleanup;
+  c->fn = std::move(fn);
+  c->next = cleanup_head_;
+  cleanup_head_ = c;
+}
+
+namespace {
+
+class EmptyIterator : public Iterator {
+ public:
+  explicit EmptyIterator(const Status& s) : status_(s) {}
+
+  bool Valid() const override { return false; }
+  void Seek(const Slice&) override {}
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Next() override {}
+  void Prev() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+
+Iterator* NewErrorIterator(const Status& status) {
+  return new EmptyIterator(status);
+}
+
+}  // namespace unikv

@@ -1,0 +1,56 @@
+#ifndef UNIKV_CORE_ITERATOR_H_
+#define UNIKV_CORE_ITERATOR_H_
+
+#include <functional>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace unikv {
+
+/// An iterator yields a sequence of key/value pairs from a source.
+/// Implementations are not thread-safe; callers synchronize externally.
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  /// True iff the iterator is positioned at a key/value pair.
+  virtual bool Valid() const = 0;
+
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  /// Positions at the first key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  /// Valid only while the iterator stays positioned (the slice may point
+  /// into internal buffers invalidated by the next move).
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+
+  /// Registers a function to run when this iterator is destroyed (used to
+  /// release pinned resources such as cache handles or versions).
+  void RegisterCleanup(std::function<void()> fn);
+
+ private:
+  struct Cleanup {
+    std::function<void()> fn;
+    Cleanup* next = nullptr;
+  };
+  Cleanup* cleanup_head_ = nullptr;
+};
+
+/// Returns an empty iterator with the given status.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace unikv
+
+#endif  // UNIKV_CORE_ITERATOR_H_

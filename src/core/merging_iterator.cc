@@ -1,0 +1,263 @@
+#include "core/merging_iterator.h"
+
+#include <cassert>
+
+namespace unikv {
+
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator& comparator,
+                  std::vector<Iterator*> children)
+      : comparator_(comparator),
+        children_(std::move(children)),
+        current_(nullptr),
+        direction_(kForward) {}
+
+  ~MergingIterator() override {
+    for (Iterator* child : children_) {
+      delete child;
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (Iterator* child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (Iterator* child : children_) {
+      child->SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (Iterator* child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+
+    // Ensure all children are positioned after key(): if we were moving
+    // backwards, children other than current_ sit at entries < key().
+    if (direction_ != kForward) {
+      for (Iterator* child : children_) {
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_.Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+
+    if (direction_ != kReverse) {
+      for (Iterator* child : children_) {
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            // Child is at the first entry >= key(); step back one.
+            child->Prev();
+          } else {
+            // Child has no entries >= key(); position at last.
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (Iterator* child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (Iterator* child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_.Compare(child->key(), smallest->key()) < 0) {
+          smallest = child;
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    // Iterate in reverse so earlier children win ties.
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      Iterator* child = *it;
+      if (child->Valid()) {
+        if (largest == nullptr ||
+            comparator_.Compare(child->key(), largest->key()) >= 0) {
+          largest = child;
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const InternalKeyComparator comparator_;
+  std::vector<Iterator*> children_;
+  Iterator* current_;
+  Direction direction_;
+};
+
+class ConcatenatingIterator : public Iterator {
+ public:
+  ConcatenatingIterator(const InternalKeyComparator& comparator,
+                        std::vector<Iterator*> children)
+      : comparator_(comparator), children_(std::move(children)) {}
+
+  ~ConcatenatingIterator() override {
+    for (Iterator* child : children_) {
+      delete child;
+    }
+  }
+
+  bool Valid() const override {
+    return cur_ < children_.size() && children_[cur_]->Valid();
+  }
+
+  void SeekToFirst() override {
+    cur_ = 0;
+    if (!children_.empty()) {
+      children_[cur_]->SeekToFirst();
+      SkipEmptyForward();
+    }
+  }
+
+  void SeekToLast() override {
+    cur_ = children_.empty() ? 0 : children_.size() - 1;
+    if (!children_.empty()) {
+      children_[cur_]->SeekToLast();
+      SkipEmptyBackward();
+    }
+  }
+
+  void Seek(const Slice& target) override {
+    // Children are ordered and disjoint: find the first child whose
+    // entries may include keys >= target by probing sequentially.
+    for (cur_ = 0; cur_ < children_.size(); cur_++) {
+      children_[cur_]->Seek(target);
+      if (children_[cur_]->Valid()) {
+        return;
+      }
+    }
+  }
+
+  void Next() override {
+    assert(Valid());
+    children_[cur_]->Next();
+    SkipEmptyForward();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    children_[cur_]->Prev();
+    SkipEmptyBackward();
+  }
+
+  Slice key() const override { return children_[cur_]->key(); }
+  Slice value() const override { return children_[cur_]->value(); }
+
+  Status status() const override {
+    for (Iterator* child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void SkipEmptyForward() {
+    while (cur_ < children_.size() && !children_[cur_]->Valid()) {
+      cur_++;
+      if (cur_ < children_.size()) {
+        children_[cur_]->SeekToFirst();
+      }
+    }
+  }
+
+  void SkipEmptyBackward() {
+    while (cur_ < children_.size() && !children_[cur_]->Valid()) {
+      if (cur_ == 0) {
+        cur_ = children_.size();  // Invalid.
+        return;
+      }
+      cur_--;
+      children_[cur_]->SeekToLast();
+    }
+  }
+
+  const InternalKeyComparator comparator_;
+  std::vector<Iterator*> children_;
+  size_t cur_ = 0;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const InternalKeyComparator& comparator,
+                             std::vector<Iterator*> children) {
+  if (children.empty()) {
+    return NewEmptyIterator();
+  }
+  if (children.size() == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, std::move(children));
+}
+
+Iterator* NewConcatenatingIterator(const InternalKeyComparator& comparator,
+                                   std::vector<Iterator*> children) {
+  if (children.empty()) {
+    return NewEmptyIterator();
+  }
+  return new ConcatenatingIterator(comparator, std::move(children));
+}
+
+}  // namespace unikv

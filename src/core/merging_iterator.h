@@ -1,0 +1,24 @@
+#ifndef UNIKV_CORE_MERGING_ITERATOR_H_
+#define UNIKV_CORE_MERGING_ITERATOR_H_
+
+#include <vector>
+
+#include "core/dbformat.h"
+#include "core/iterator.h"
+
+namespace unikv {
+
+/// Returns an iterator yielding the union of children in internal-key
+/// order. Takes ownership of the children. On ties (same internal key,
+/// which cannot happen with unique sequence numbers) earlier children win.
+Iterator* NewMergingIterator(const InternalKeyComparator& comparator,
+                             std::vector<Iterator*> children);
+
+/// Returns an iterator that concatenates non-overlapping children in
+/// order (a "sorted run" iterator). `children` must be key-ordered.
+Iterator* NewConcatenatingIterator(const InternalKeyComparator& comparator,
+                                   std::vector<Iterator*> children);
+
+}  // namespace unikv
+
+#endif  // UNIKV_CORE_MERGING_ITERATOR_H_

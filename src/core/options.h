@@ -1,0 +1,116 @@
+#ifndef UNIKV_CORE_OPTIONS_H_
+#define UNIKV_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "table/table_builder.h"
+
+namespace unikv {
+
+class Cache;
+class Env;
+
+/// Options controlling a DB instance (UniKV or one of the baselines).
+struct Options {
+  /// Environment used for all file access. Defaults to Env::Default().
+  Env* env = nullptr;
+
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  /// Verify checksums on every read path (table blocks always carry CRCs).
+  bool paranoid_checks = false;
+
+  /// Memtable size that triggers a flush.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  /// Block cache capacity in bytes (0 disables the shared cache).
+  size_t block_cache_size = 8 * 1024 * 1024;
+
+  /// SSTable layout knobs.
+  TableOptions table_options;
+
+  // --- UniKV-specific knobs (ignored by baselines) ---
+
+  /// UnsortedStore size that triggers a merge into the SortedStore
+  /// (paper: UnsortedLimit, configured by available memory).
+  size_t unsorted_limit = 16 * 1024 * 1024;
+
+  /// Partition size (sorted keys + live log data) that triggers a range
+  /// split (paper: partitionSizeLimit).
+  size_t partition_size_limit = 256 * 1024 * 1024;
+
+  /// Number of UnsortedStore tables that triggers the size-based merge
+  /// scan optimization (paper: scanMergeLimit).
+  int scan_merge_limit = 8;
+
+  /// Stale value-log bytes in a partition that trigger GC.
+  size_t gc_garbage_threshold = 16 * 1024 * 1024;
+
+  /// Target size of each SortedStore SSTable produced by merges/GC.
+  size_t sorted_table_size = 2 * 1024 * 1024;
+
+  /// Values shorter than this stay inline in SortedStore tables instead
+  /// of being separated into the value logs (the paper's suggested
+  /// mitigation for small-KV workloads, where pointer overhead and
+  /// scan-time dereferences outweigh the merge savings). 0 separates
+  /// everything.
+  size_t value_separation_threshold = 64;
+
+  /// Hash functions used for cuckoo-style candidate buckets (paper: n).
+  int index_num_hashes = 2;
+
+  /// Average KV size estimate used to size each partition's hash index.
+  size_t index_expected_entry_size = 1024;
+
+  /// Thread-pool size for parallel value fetches during scans and GC
+  /// (the paper uses 32; scale to the machine).
+  int value_fetch_threads = 8;
+
+  /// Persist a hash-index checkpoint every this many UnsortedStore
+  /// flushes (paper: every UnsortedLimit/2 of flushed tables). 0 disables
+  /// checkpointing (recovery then rebuilds the index by scanning tables).
+  int index_checkpoint_interval = 2;
+
+  // --- Ablation switches (F12 experiment). All default on. ---
+
+  /// Off: point lookups in the UnsortedStore scan tables newest-to-oldest
+  /// instead of consulting the hash index.
+  bool enable_hash_index = true;
+  /// Off: merges write values inline into SortedStore tables (no value
+  /// logs, no GC).
+  bool enable_kv_separation = true;
+  /// Off: never split; a single partition grows without bound.
+  bool enable_partitioning = true;
+  /// Off: no size-based merge, no readahead, no parallel value fetch.
+  bool enable_scan_optimization = true;
+
+  // --- Baseline LSM knobs ---
+
+  /// L0 file count that triggers an L0->L1 compaction.
+  int l0_compaction_trigger = 4;
+  /// Target size of L1; each deeper level is 10x larger.
+  size_t max_bytes_for_level_base = 10 * 1024 * 1024;
+  /// Max sorted runs per level for the tiered baseline.
+  int tiered_runs_per_level = 4;
+  /// Bloom bits per key for baseline tables (UniKV stores none).
+  int baseline_bloom_bits_per_key = 10;
+  /// Bucket-directory size for the HashLogDB baseline (its fixed memory
+  /// budget; chains lengthen as data outgrows it — motivation Fig. 1).
+  size_t hashlog_buckets = 1 << 16;
+};
+
+struct ReadOptions {
+  bool verify_checksums = false;
+  bool fill_cache = true;
+};
+
+struct WriteOptions {
+  /// fsync the WAL before acknowledging the write.
+  bool sync = false;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_CORE_OPTIONS_H_

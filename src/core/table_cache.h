@@ -1,0 +1,63 @@
+#ifndef UNIKV_CORE_TABLE_CACHE_H_
+#define UNIKV_CORE_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/iterator.h"
+#include "core/options.h"
+#include "util/status.h"
+
+namespace unikv {
+
+class Cache;
+class Env;
+class Table;
+
+/// Caches open Table readers keyed by file number. Thread-safe.
+class TableCache {
+ public:
+  /// `block_cache` may be null. Both must outlive the cache.
+  TableCache(Env* env, std::string dbname, const TableOptions& table_options,
+             Cache* block_cache, int max_open_tables = 500);
+  ~TableCache();
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  /// Returns an iterator over the named table. If `tableptr` is non-null,
+  /// also stores the Table* backing the iterator (valid while the iterator
+  /// lives).
+  Iterator* NewIterator(uint64_t file_number, uint64_t file_size,
+                        const Table** tableptr = nullptr);
+
+  /// Seeks `internal_key` in the named table; see Table::Get.
+  Status Get(uint64_t file_number, uint64_t file_size,
+             const Slice& internal_key, bool* found, std::string* key_out,
+             std::string* value_out);
+
+  /// Bloom pre-check for a user key (always true if no filter).
+  bool KeyMayMatch(uint64_t file_number, uint64_t file_size,
+                   const Slice& user_key);
+
+  /// Per-table access count (Fig. 2 instrumentation); 0 if not open.
+  uint64_t AccessCount(uint64_t file_number, uint64_t file_size);
+
+  /// Drops the cached reader for a deleted file.
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size,
+                   void** handle_out);
+
+  Env* const env_;
+  const std::string dbname_;
+  const TableOptions table_options_;
+  Cache* const block_cache_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_CORE_TABLE_CACHE_H_

@@ -1,0 +1,860 @@
+#include "core/unikv_db.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/db_iter.h"
+#include "core/filename.h"
+#include "core/merging_iterator.h"
+#include "table/cache.h"
+#include "util/coding.h"
+#include "util/env.h"
+#include "wal/log_reader.h"
+
+namespace unikv {
+
+DB::~DB() = default;
+
+Status DB::Scan(const ReadOptions& options, const Slice& start, int count,
+                std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::unique_ptr<Iterator> iter(NewIterator(options));
+  for (iter->Seek(start); iter->Valid() && count > 0; iter->Next(), count--) {
+    out->emplace_back(iter->key().ToString(), iter->value().ToString());
+  }
+  return iter->status();
+}
+
+Status DestroyDB(const Options& options, const std::string& name) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  return RemoveDirRecursively(env, name);
+}
+
+// ------------------------------------------------------------- lifecycle
+
+UniKVDB::UniKVDB(const Options& options, const std::string& dbname)
+    : options_(options), dbname_(dbname) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  options_.env = env_;
+  if (options_.block_cache_size > 0) {
+    block_cache_.reset(NewLRUCache(options_.block_cache_size));
+  }
+  table_cache_ = std::make_unique<TableCache>(
+      env_, dbname_, options_.table_options, block_cache_.get());
+  vlog_cache_ = std::make_unique<ValueLogCache>(env_, dbname_);
+  fetch_pool_ = std::make_unique<ThreadPool>(options_.value_fetch_threads);
+  versions_ = std::make_unique<VersionSet>(env_, dbname_);
+}
+
+UniKVDB::~UniKVDB() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    bg_work_cv_.notify_all();
+    bg_cv_.wait(lock, [this] { return !bg_work_scheduled_; });
+  }
+  if (bg_thread_.joinable()) {
+    bg_thread_.join();
+  }
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+}
+
+Status DB::Open(const Options& options, const std::string& name, DB** dbptr) {
+  return UniKVDB::Open(options, name, dbptr);
+}
+
+Status UniKVDB::Open(const Options& options, const std::string& name,
+                     DB** dbptr) {
+  *dbptr = nullptr;
+  auto db = std::make_unique<UniKVDB>(options, name);
+  Status s = db->Recover();
+  if (!s.ok()) {
+    // The destructor joins the (not yet started) background machinery.
+    return s;
+  }
+  db->bg_thread_ = std::thread([raw = db.get()] { raw->BackgroundLoop(); });
+  *dbptr = db.release();
+  return Status::OK();
+}
+
+Status UniKVDB::Recover() {
+  Status s =
+      versions_->Recover(options_.create_if_missing, options_.error_if_exists);
+  if (!s.ok()) return s;
+
+  // Collect WAL files newer than the manifest's log number and replay
+  // them in order.
+  std::vector<std::string> children;
+  s = env_->GetChildren(dbname_, &children);
+  if (!s.ok()) return s;
+  std::vector<uint64_t> wals;
+  for (const std::string& child : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(child, &number, &type) && type == FileType::kWalFile &&
+        number >= versions_->LogNumber()) {
+      wals.push_back(number);
+    }
+  }
+  std::sort(wals.begin(), wals.end());
+
+  mem_ = new MemTable(icmp_);
+  mem_->Ref();
+  SequenceNumber max_seq = versions_->LastSequence();
+  for (uint64_t number : wals) {
+    s = ReplayWal(number, mem_, &max_seq);
+    if (!s.ok()) return s;
+  }
+  versions_->SetLastSequence(max_seq);
+
+  // Flush recovered entries so the old WALs can be retired, then start a
+  // fresh WAL.
+  VersionEdit edit;
+  if (mem_->NumEntries() > 0) {
+    std::vector<FlushOutput> new_tables;
+    s = FlushMemTableToUnsorted(mem_, &edit, &new_tables);
+    if (!s.ok()) return s;
+    mem_->Unref();
+    mem_ = new MemTable(icmp_);
+    mem_->Ref();
+  }
+
+  wal_number_ = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  s = env_->NewWritableFile(WalFileName(dbname_, wal_number_), &lfile);
+  if (!s.ok()) return s;
+  wal_file_ = std::move(lfile);
+  wal_ = std::make_unique<log::Writer>(wal_file_.get());
+  edit.SetLogNumber(wal_number_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = versions_->LogAndApply(&edit);
+    pending_outputs_.clear();
+  }
+  if (!s.ok()) return s;
+
+  s = RebuildHashIndexes();
+  if (!s.ok()) return s;
+
+  RemoveObsoleteFiles();
+  return Status::OK();
+}
+
+namespace {
+struct WalReporter : public log::Reader::Reporter {
+  Status* status;
+  void Corruption(size_t /*bytes*/, const Status& s) override {
+    if (status != nullptr && status->ok()) *status = s;
+  }
+};
+}  // namespace
+
+Status UniKVDB::ReplayWal(uint64_t number, MemTable* mem,
+                          SequenceNumber* max_seq) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(WalFileName(dbname_, number), &file);
+  if (!s.ok()) return s;
+
+  Status replay_status;
+  WalReporter reporter;
+  reporter.status = &replay_status;
+  log::Reader reader(file.get(), &reporter, true);
+  Slice record;
+  std::string scratch;
+  WriteBatch batch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    if (record.size() < 12) {
+      replay_status = Status::Corruption("WAL record too small");
+      break;
+    }
+    batch.SetContents(record);
+    s = batch.InsertInto(mem);
+    if (!s.ok()) return s;
+    SequenceNumber last = batch.Sequence() + batch.Count() - 1;
+    if (last > *max_seq) *max_seq = last;
+  }
+  return replay_status;
+}
+
+std::shared_ptr<HashIndex> UniKVDB::GetOrCreateIndex(uint32_t pid) {
+  auto it = indexes_.find(pid);
+  if (it != indexes_.end()) return it->second;
+  auto index = std::make_shared<HashIndex>(IndexExpectedEntries(),
+                                           options_.index_num_hashes);
+  indexes_[pid] = index;
+  return index;
+}
+
+Status UniKVDB::InsertTableIntoIndex(HashIndex* index, const FileMeta& f) {
+  std::unique_ptr<Iterator> iter(table_cache_->NewIterator(f.number, f.size));
+  std::string prev_user_key;
+  bool has_prev = false;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    Slice user_key = ExtractUserKey(iter->key());
+    if (!has_prev || Slice(prev_user_key) != user_key) {
+      index->Insert(user_key, f.table_id);
+      prev_user_key.assign(user_key.data(), user_key.size());
+      has_prev = true;
+    }
+  }
+  return iter->status();
+}
+
+Status UniKVDB::RebuildHashIndexes() {
+  VersionPtr ver = versions_->current();
+  for (const auto& p : ver->partitions) {
+    auto index = std::make_shared<HashIndex>(IndexExpectedEntries(),
+                                             options_.index_num_hashes);
+    std::set<uint16_t> covered;
+    if (p->index_checkpoint != 0) {
+      // Load the checkpoint image: [count varint32][table ids varint32...]
+      // [HashIndex image].
+      std::string fname = IndexCheckpointFileName(dbname_, p->index_checkpoint);
+      uint64_t size;
+      Status s = env_->GetFileSize(fname, &size);
+      if (s.ok()) {
+        std::unique_ptr<SequentialFile> file;
+        s = env_->NewSequentialFile(fname, &file);
+        if (s.ok()) {
+          std::string buf;
+          buf.resize(size);
+          Slice contents;
+          s = file->Read(size, &contents, buf.data());
+          if (s.ok()) {
+            Slice input = contents;
+            uint32_t count = 0;
+            if (GetVarint32(&input, &count)) {
+              bool ok = true;
+              for (uint32_t i = 0; i < count && ok; i++) {
+                uint32_t id;
+                ok = GetVarint32(&input, &id);
+                if (ok) covered.insert(static_cast<uint16_t>(id));
+              }
+              if (ok && index->DecodeFrom(input).ok()) {
+                // Loaded; fall through to replay uncovered tables.
+              } else {
+                covered.clear();
+                index->Clear();
+              }
+            }
+          }
+        }
+      }
+      // On any checkpoint trouble fall back to a full rebuild.
+    }
+    for (const FileMeta& f : p->unsorted) {
+      if (covered.count(f.table_id)) continue;
+      Status s = InsertTableIntoIndex(index.get(), f);
+      if (!s.ok()) return s;
+    }
+    indexes_[p->id] = index;
+    vlog_garbage_[p->id] = 0;
+    flushes_since_checkpoint_[p->id] = 0;
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ write path
+
+struct UniKVDB::Writer {
+  explicit Writer(std::mutex* mu) : batch(nullptr), cv_mu(mu) {}
+
+  Status status;
+  WriteBatch* batch;
+  bool sync = false;
+  bool done = false;
+  std::mutex* cv_mu;
+  std::condition_variable cv;
+};
+
+Status UniKVDB::Put(const WriteOptions& options, const Slice& key,
+                    const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status UniKVDB::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status UniKVDB::Write(const WriteOptions& options, WriteBatch* updates) {
+  Writer w(&mu_);
+  w.batch = updates;
+  w.sync = options.sync;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  w.cv.wait(lock, [this, &w] { return w.done || &w == writers_.front(); });
+  if (w.done) {
+    return w.status;
+  }
+
+  // This writer is responsible for the group at the queue front.
+  Status status = MakeRoomForWrite(lock);
+  SequenceNumber last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  if (status.ok()) {
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    write_batch->SetSequence(last_sequence + 1);
+    last_sequence += write_batch->Count();
+
+    // Append to the WAL and apply to the memtable. Safe to release the
+    // mutex: &w is the only awake writer and structural changes are
+    // excluded until we pop the queue.
+    {
+      lock.unlock();
+      status = wal_->AddRecord(write_batch->Contents());
+      if (status.ok() && options.sync) {
+        status = wal_file_->Sync();
+      }
+      if (status.ok()) {
+        status = write_batch->InsertInto(mem_);
+      }
+      lock.lock();
+    }
+    if (write_batch == &batch_group_scratch_) {
+      batch_group_scratch_.Clear();
+    }
+    versions_->SetLastSequence(last_sequence);
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+  return status;
+}
+
+WriteBatch* UniKVDB::BuildBatchGroup(Writer** last_writer) {
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  size_t size = first->batch->ApproximateSize();
+
+  // Allow the group to grow up to a maximum size, but keep it small if
+  // the head batch is small to not slow down small writes too much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+  for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+    Writer* w = *it;
+    if (w->sync && !first->sync) {
+      break;  // Do not include a sync write into a non-sync group.
+    }
+    if (w->batch != nullptr) {
+      size += w->batch->ApproximateSize();
+      if (size > max_size) break;
+      if (result == first->batch) {
+        // Switch to a temporary batch instead of disturbing the caller's.
+        result = &batch_group_scratch_;
+        assert(result->Count() == 0);
+        result->Append(*first->batch);
+      }
+      result->Append(*w->batch);
+    }
+    *last_writer = w;
+  }
+  return result;
+}
+
+Status UniKVDB::SwitchWal() {
+  uint64_t new_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  Status s = env_->NewWritableFile(WalFileName(dbname_, new_number), &lfile);
+  if (!s.ok()) return s;
+  wal_file_ = std::move(lfile);
+  wal_ = std::make_unique<log::Writer>(wal_file_.get());
+  wal_number_ = new_number;
+  return Status::OK();
+}
+
+Status UniKVDB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  while (true) {
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+      return Status::OK();
+    }
+    if (imm_ != nullptr) {
+      // The previous memtable is still being flushed: wait.
+      bg_work_cv_.notify_all();
+      bg_cv_.wait(lock);
+      continue;
+    }
+    // Switch to a new memtable + WAL and hand the old one to the
+    // background thread.
+    Status s = SwitchWal();
+    if (!s.ok()) return s;
+    imm_ = mem_;
+    mem_ = new MemTable(icmp_);
+    mem_->Ref();
+    MaybeScheduleWork();
+    return Status::OK();
+  }
+}
+
+// ------------------------------------------------------------- read path
+
+Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
+                    std::string* value) {
+  MemTable* mem;
+  MemTable* imm = nullptr;
+  VersionPtr ver;
+  SequenceNumber snapshot;
+  std::vector<uint16_t> candidates;
+  int pi;
+  {
+    // Capture everything that must be mutually consistent — the version,
+    // the snapshot sequence, and the hash-index candidates — under one
+    // mutex hold. Index contents always correspond to the version
+    // installed under the same lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = versions_->LastSequence();
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) imm->Ref();
+    ver = versions_->current();
+    pi = ver->FindPartition(key);
+    if (options_.enable_hash_index) {
+      auto it = indexes_.find(ver->partitions[pi]->id);
+      if (it != indexes_.end()) {
+        it->second->Lookup(key, &candidates);
+      }
+    }
+  }
+
+  LookupKey lkey(key, snapshot);
+  Status s;
+  bool done = false;
+  if (mem->Get(lkey, value, &s)) {
+    done = true;
+  } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+    done = true;
+  }
+
+  if (!done) {
+    const PartitionState& p = *ver->partitions[pi];
+    bool found = false;
+    s = GetFromUnsorted(p, candidates, lkey, value, &found);
+    if (s.ok() && !found) {
+      s = GetFromSorted(p, lkey, value, &found);
+    }
+    if (s.ok() && !found) {
+      s = Status::NotFound(Slice());
+    }
+  }
+
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  return s;
+}
+
+Status UniKVDB::GetFromUnsorted(const PartitionState& p,
+                                std::vector<uint16_t> candidates,
+                                const LookupKey& lkey, std::string* value,
+                                bool* found) {
+  *found = false;
+  if (p.unsorted.empty()) return Status::OK();
+
+  const Slice user_key = lkey.user_key();
+  std::vector<const FileMeta*> probe_order;
+  if (options_.enable_hash_index) {
+    if (candidates.empty()) return Status::OK();
+    // Newer tables have larger table ids within an epoch: probing ids in
+    // descending order guarantees the newest version wins even under
+    // keyTag collisions.
+    std::sort(candidates.begin(), candidates.end(),
+              std::greater<uint16_t>());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (uint16_t id : candidates) {
+      for (const FileMeta& f : p.unsorted) {
+        if (f.table_id == id) {
+          probe_order.push_back(&f);
+          break;
+        }
+      }
+    }
+  } else {
+    // Ablation mode: probe every table newest-to-oldest with range checks.
+    for (auto it = p.unsorted.rbegin(); it != p.unsorted.rend(); ++it) {
+      if (user_key.compare(Slice(it->smallest)) >= 0 &&
+          user_key.compare(Slice(it->largest)) <= 0) {
+        probe_order.push_back(&*it);
+      }
+    }
+  }
+
+  std::string found_key, found_value;
+  for (const FileMeta* f : probe_order) {
+    bool hit = false;
+    Status s = table_cache_->Get(f->number, f->size, lkey.internal_key(),
+                                 &hit, &found_key, &found_value);
+    if (!s.ok()) return s;
+    if (hit && ExtractUserKey(found_key) == user_key) {
+      ValueType type = ExtractValueType(found_key);
+      if (type == kTypeDeletion) {
+        *found = true;
+        return Status::NotFound(Slice());
+      }
+      *found = true;
+      *value = std::move(found_value);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status UniKVDB::GetFromSorted(const PartitionState& p, const LookupKey& lkey,
+                              std::string* value, bool* found) {
+  *found = false;
+  const Slice user_key = lkey.user_key();
+  // Binary search the sorted run by largest key (paper: compare boundary
+  // keys kept in memory; at most one table can contain the key).
+  const auto& files = p.sorted;
+  int lo = 0, hi = static_cast<int>(files.size()) - 1;
+  int target = -1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (Slice(files[mid].largest).compare(user_key) < 0) {
+      lo = mid + 1;
+    } else {
+      target = mid;
+      hi = mid - 1;
+    }
+  }
+  if (target < 0 || user_key.compare(Slice(files[target].smallest)) < 0) {
+    return Status::OK();
+  }
+
+  const FileMeta& f = files[target];
+  bool hit = false;
+  std::string found_key, found_value;
+  Status s = table_cache_->Get(f.number, f.size, lkey.internal_key(), &hit,
+                               &found_key, &found_value);
+  if (!s.ok()) return s;
+  if (!hit || ExtractUserKey(found_key) != user_key) {
+    return Status::OK();
+  }
+  ValueType type = ExtractValueType(found_key);
+  if (type == kTypeDeletion) {
+    *found = true;
+    return Status::NotFound(Slice());
+  }
+  if (type == kTypeValue) {
+    *found = true;
+    *value = std::move(found_value);
+    return Status::OK();
+  }
+  // kTypeValuePointer: fetch from the value log and validate the key.
+  ValuePointer ptr;
+  Slice encoded(found_value);
+  if (!ptr.DecodeFrom(&encoded)) {
+    return Status::Corruption("bad value pointer in SortedStore");
+  }
+  std::string stored_key;
+  s = vlog_cache_->Get(ptr, value, &stored_key);
+  if (!s.ok()) return s;
+  if (Slice(stored_key) != user_key) {
+    return Status::Corruption("value log key mismatch");
+  }
+  *found = true;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- iterators
+
+Iterator* UniKVDB::NewInternalIterator(SequenceNumber* latest_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *latest_seq = versions_->LastSequence();
+
+  std::vector<Iterator*> children;
+  mem_->Ref();
+  Iterator* mem_iter = mem_->NewIterator();
+  MemTable* mem = mem_;
+  mem_iter->RegisterCleanup([mem] { mem->Unref(); });
+  children.push_back(mem_iter);
+  if (imm_ != nullptr) {
+    imm_->Ref();
+    Iterator* imm_iter = imm_->NewIterator();
+    MemTable* imm = imm_;
+    imm_iter->RegisterCleanup([imm] { imm->Unref(); });
+    children.push_back(imm_iter);
+  }
+
+  VersionPtr ver = versions_->current();
+  for (const auto& p : ver->partitions) {
+    for (const FileMeta& f : p->unsorted) {
+      children.push_back(table_cache_->NewIterator(f.number, f.size));
+    }
+    if (!p->sorted.empty()) {
+      std::vector<Iterator*> run;
+      run.reserve(p->sorted.size());
+      for (const FileMeta& f : p->sorted) {
+        run.push_back(table_cache_->NewIterator(f.number, f.size));
+      }
+      children.push_back(NewConcatenatingIterator(icmp_, std::move(run)));
+    }
+  }
+
+  Iterator* merged = NewMergingIterator(icmp_, std::move(children));
+  // Pin the version for the iterator's lifetime.
+  merged->RegisterCleanup([ver] { (void)ver; });
+  return merged;
+}
+
+Iterator* UniKVDB::NewIterator(const ReadOptions& /*options*/) {
+  SequenceNumber seq;
+  Iterator* internal = NewInternalIterator(&seq);
+  return new DBIter(icmp_, internal, seq, vlog_cache_.get(),
+                    options_.enable_scan_optimization);
+}
+
+Status UniKVDB::Scan(const ReadOptions& options, const Slice& start,
+                     int count,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (!options_.enable_scan_optimization) {
+    return DB::Scan(options, start, count, out);
+  }
+
+  // Paper scan workflow: (1) collect keys + pointers from the stores,
+  // (2) issue readahead from the first value, (3) fetch values through
+  // the thread pool in parallel.
+  SequenceNumber seq;
+  Iterator* internal = NewInternalIterator(&seq);
+  DBIter iter(icmp_, internal, seq, vlog_cache_.get(), true);
+
+  struct PendingEntry {
+    std::string key;
+    std::string inline_value;  // Used when !is_pointer.
+    ValuePointer ptr;
+    bool is_pointer = false;
+    Status status;
+  };
+  std::vector<PendingEntry> entries;
+  entries.reserve(count);
+
+  for (iter.Seek(start); iter.Valid() && count > 0; iter.Next(), count--) {
+    PendingEntry e;
+    e.key = iter.key().ToString();
+    if (iter.raw_type() == kTypeValuePointer) {
+      Slice encoded = iter.raw_value();
+      if (!e.ptr.DecodeFrom(&encoded)) {
+        return Status::Corruption("bad value pointer in scan");
+      }
+      e.is_pointer = true;
+      if (entries.empty()) {
+        vlog_cache_->Readahead(e.ptr, 1 << 20);
+      }
+    } else {
+      e.inline_value = iter.raw_value().ToString();
+    }
+    entries.push_back(std::move(e));
+  }
+  Status s = iter.status();
+  if (!s.ok()) return s;
+
+  // Group consecutive pointer entries that land in a contiguous region of
+  // the same log: merges and GC emit values in key order, so a sorted
+  // scan usually dereferences an ascending run of offsets. Each group is
+  // fetched with a single pread; groups are fetched in parallel through
+  // the thread pool.
+  struct Group {
+    std::vector<size_t> members;  // Entry indices served by this span.
+    uint64_t log_number = 0;
+    uint64_t begin = 0, end = 0;  // Byte span in the log.
+    Status status;
+  };
+  constexpr uint64_t kMaxSpan = 1 << 20;
+  constexpr uint64_t kMaxGap = 64 * 1024;
+
+  // Bucket the pointer entries per log, order each bucket by offset, and
+  // coalesce offset-adjacent records (gap tolerance kMaxGap) into spans.
+  // Pointers from several merge epochs interleave across logs, but within
+  // one log a sorted scan touches ascending offsets, so a scan of N
+  // entries typically needs only #logs-touched preads.
+  std::unordered_map<uint64_t, std::vector<size_t>> by_log;
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (entries[i].is_pointer) {
+      by_log[entries[i].ptr.log_number].push_back(i);
+    }
+  }
+  std::vector<Group> groups;
+  for (auto& [log_number, indices] : by_log) {
+    std::sort(indices.begin(), indices.end(), [&entries](size_t a, size_t b) {
+      return entries[a].ptr.offset < entries[b].ptr.offset;
+    });
+    for (size_t i : indices) {
+      const ValuePointer& ptr = entries[i].ptr;
+      if (!groups.empty()) {
+        Group& g = groups.back();
+        if (g.log_number == log_number && ptr.offset >= g.end &&
+            ptr.offset + ptr.size - g.begin <= kMaxSpan &&
+            ptr.offset - g.end <= kMaxGap) {
+          g.members.push_back(i);
+          g.end = ptr.offset + ptr.size;
+          continue;
+        }
+      }
+      Group g;
+      g.log_number = log_number;
+      g.begin = ptr.offset;
+      g.end = ptr.offset + ptr.size;
+      g.members.push_back(i);
+      groups.push_back(std::move(g));
+    }
+  }
+
+  auto fetch_group = [this, &entries](Group* g) {
+    std::string span;
+    g->status = vlog_cache_->GetSpan(g->log_number, g->begin,
+                                     static_cast<size_t>(g->end - g->begin),
+                                     &span);
+    if (!g->status.ok()) return;
+    for (size_t i : g->members) {
+      PendingEntry& e = entries[i];
+      Slice record(span.data() + (e.ptr.offset - g->begin), e.ptr.size);
+      Slice key, value;
+      e.status = DecodeValueRecord(record, &key, &value);
+      if (e.status.ok()) {
+        e.inline_value.assign(value.data(), value.size());
+      }
+    }
+  };
+
+  // Fan the groups out over a bounded number of pool tasks (one chunk per
+  // worker) so scheduling overhead stays constant regardless of how
+  // fragmented the runs are.
+  const int workers = fetch_pool_->num_threads();
+  if (groups.size() > 8 && workers > 1) {
+    const size_t chunk = (groups.size() + workers - 1) / workers;
+    for (size_t begin = 0; begin < groups.size(); begin += chunk) {
+      size_t end = std::min(begin + chunk, groups.size());
+      fetch_pool_->Schedule([&fetch_group, &groups, begin, end] {
+        for (size_t i = begin; i < end; i++) {
+          fetch_group(&groups[i]);
+        }
+      });
+    }
+    fetch_pool_->WaitIdle();
+  } else {
+    for (Group& g : groups) {
+      fetch_group(&g);
+    }
+  }
+
+  out->reserve(entries.size());
+  for (Group& g : groups) {
+    if (!g.status.ok()) return g.status;
+  }
+  for (PendingEntry& e : entries) {
+    if (!e.status.ok()) return e.status;
+    out->emplace_back(std::move(e.key), std::move(e.inline_value));
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ properties
+
+bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VersionPtr ver = versions_->current();
+  char buf[200];
+  if (property == Slice("db.num-partitions")) {
+    std::snprintf(buf, sizeof(buf), "%zu", ver->partitions.size());
+    *value = buf;
+    return true;
+  }
+  if (property == Slice("db.hash-index-bytes")) {
+    size_t total = 0;
+    for (const auto& [pid, index] : indexes_) total += index->MemoryUsage();
+    std::snprintf(buf, sizeof(buf), "%zu", total);
+    *value = buf;
+    return true;
+  }
+  if (property == Slice("db.hash-index-entries")) {
+    uint64_t total = 0;
+    for (const auto& [pid, index] : indexes_) total += index->NumEntries();
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, total);
+    *value = buf;
+    return true;
+  }
+  if (property == Slice("db.num-files")) {
+    size_t n = 0;
+    for (const auto& p : ver->partitions) {
+      n += p->unsorted.size() + p->sorted.size() + p->vlogs.size();
+    }
+    std::snprintf(buf, sizeof(buf), "%zu", n);
+    *value = buf;
+    return true;
+  }
+  if (property == Slice("db.stats")) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "flushes=%" PRIu64 " merges=%" PRIu64 " scan_merges=%" PRIu64
+        " gcs=%" PRIu64 " splits=%" PRIu64 " merge_write_mb=%.1f"
+        " gc_write_mb=%.1f",
+        stats_.flushes, stats_.merges, stats_.scan_merges, stats_.gcs,
+        stats_.splits, stats_.merge_bytes_written / 1048576.0,
+        stats_.gc_bytes_written / 1048576.0);
+    *value = buf;
+    return true;
+  }
+  if (property == Slice("db.sstables")) {
+    std::string result;
+    for (const auto& p : ver->partitions) {
+      std::snprintf(buf, sizeof(buf),
+                    "partition %u [%s..): unsorted=%zu sorted=%zu vlogs=%zu\n",
+                    p->id,
+                    p->lower_bound.empty() ? "-inf" : p->lower_bound.c_str(),
+                    p->unsorted.size(), p->sorted.size(), p->vlogs.size());
+      result += buf;
+    }
+    *value = std::move(result);
+    return true;
+  }
+  if (property == Slice("db.table-accesses")) {
+    // One line per table: <kind> <file number> <access count>.
+    std::string result;
+    for (const auto& p : ver->partitions) {
+      for (const FileMeta& f : p->unsorted) {
+        std::snprintf(buf, sizeof(buf), "unsorted %llu %llu\n",
+                      static_cast<unsigned long long>(f.number),
+                      static_cast<unsigned long long>(
+                          table_cache_->AccessCount(f.number, f.size)));
+        result += buf;
+      }
+      for (const FileMeta& f : p->sorted) {
+        std::snprintf(buf, sizeof(buf), "sorted %llu %llu\n",
+                      static_cast<unsigned long long>(f.number),
+                      static_cast<unsigned long long>(
+                          table_cache_->AccessCount(f.number, f.size)));
+        result += buf;
+      }
+    }
+    *value = std::move(result);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace unikv

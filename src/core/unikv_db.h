@@ -1,0 +1,178 @@
+#ifndef UNIKV_CORE_UNIKV_DB_H_
+#define UNIKV_CORE_UNIKV_DB_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/db.h"
+#include "core/dbformat.h"
+#include "core/table_cache.h"
+#include "core/version.h"
+#include "index/hash_index.h"
+#include "mem/memtable.h"
+#include "util/thread_pool.h"
+#include "vlog/value_log.h"
+#include "wal/log_writer.h"
+
+namespace unikv {
+
+class Cache;
+
+/// Counters describing the background work a UniKV instance has done.
+/// Exposed through GetProperty("db.stats").
+struct UniKVStats {
+  uint64_t flushes = 0;
+  uint64_t merges = 0;
+  uint64_t scan_merges = 0;
+  uint64_t gcs = 0;
+  uint64_t splits = 0;
+  uint64_t flush_bytes = 0;
+  uint64_t merge_bytes_written = 0;
+  uint64_t merge_bytes_read = 0;
+  uint64_t gc_bytes_written = 0;
+  uint64_t gc_bytes_read = 0;
+};
+
+/// The UniKV store: differentiated indexing (hash-indexed UnsortedStore +
+/// fully-sorted SortedStore with partial KV separation), dynamic range
+/// partitioning, and scan/GC machinery. See DESIGN.md.
+class UniKVDB : public DB {
+ public:
+  UniKVDB(const Options& options, const std::string& dbname);
+  ~UniKVDB() override;
+
+  static Status Open(const Options& options, const std::string& name,
+                     DB** dbptr);
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  Status Scan(const ReadOptions& options, const Slice& start, int count,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+  Status CompactAll() override;
+  Status FlushMemTable() override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+
+ private:
+  friend class DB;
+  struct Writer;
+
+  Status Recover();
+  Status ReplayWal(uint64_t number, MemTable* mem, SequenceNumber* max_seq);
+  Status RebuildHashIndexes();
+  Status InsertTableIntoIndex(HashIndex* index, const FileMeta& f);
+
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+  Status SwitchWal();
+
+  enum class WorkKind {
+    kNone,
+    kFlush,
+    kMerge,
+    kScanMerge,
+    kGc,
+    kSplit,
+  };
+  struct WorkItem {
+    WorkKind kind = WorkKind::kNone;
+    std::shared_ptr<const PartitionState> partition;
+  };
+
+  void MaybeScheduleWork();
+  void BackgroundLoop();
+  WorkItem PickWork();     // Requires mu_ held.
+  bool HasWorkPending();   // Requires mu_ held.
+  Status DispatchWork(const WorkItem& item);
+
+  struct FlushOutput {
+    uint32_t pid = 0;
+    FileMeta meta;
+    std::vector<std::string> keys;  // Deduplicated user keys, table order.
+  };
+
+  /// Flushes `mem` contents to per-partition UnsortedStore tables and
+  /// fills *edit + *outputs. Called without holding mu_ (takes it briefly
+  /// for metadata allocation). Does not touch the hash indexes.
+  Status FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
+                                 std::vector<FlushOutput>* outputs);
+  Status CompactMemTable();
+
+  Status MergePartition(std::shared_ptr<const PartitionState> p);
+  Status ScanMergePartition(std::shared_ptr<const PartitionState> p);
+  Status GcPartition(std::shared_ptr<const PartitionState> p);
+  Status SplitPartition(std::shared_ptr<const PartitionState> p);
+
+  void RemoveObsoleteFiles();
+  void RecordBackgroundError(const Status& s);
+
+  Status GetFromUnsorted(const PartitionState& p,
+                         std::vector<uint16_t> candidates,
+                         const LookupKey& lkey, std::string* value,
+                         bool* found);
+  Status GetFromSorted(const PartitionState& p, const LookupKey& lkey,
+                       std::string* value, bool* found);
+
+  /// Builds a merged internal iterator over memtables and all partitions;
+  /// *latest_seq receives the snapshot sequence.
+  Iterator* NewInternalIterator(SequenceNumber* latest_seq);
+
+  // ---- Immutable after Open ----
+  Options options_;
+  const std::string dbname_;
+  Env* env_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<Cache> block_cache_;
+  std::unique_ptr<TableCache> table_cache_;
+  std::unique_ptr<ValueLogCache> vlog_cache_;
+  std::unique_ptr<ThreadPool> fetch_pool_;
+
+  // ---- State guarded by mu_ ----
+  std::mutex mu_;
+  std::condition_variable bg_cv_;      // Signalled when bg work finishes.
+  std::condition_variable bg_work_cv_; // Wakes the background thread.
+
+  MemTable* mem_ = nullptr;
+  MemTable* imm_ = nullptr;
+  std::unique_ptr<WritableFile> wal_file_;
+  std::unique_ptr<log::Writer> wal_;
+  uint64_t wal_number_ = 0;
+
+  std::unique_ptr<VersionSet> versions_;
+  std::deque<Writer*> writers_;
+  WriteBatch batch_group_scratch_;
+
+  // Mutable per-partition side state (not versioned).
+  std::unordered_map<uint32_t, std::shared_ptr<HashIndex>> indexes_;
+  std::unordered_map<uint32_t, uint64_t> vlog_garbage_;
+  std::unordered_map<uint32_t, int> flushes_since_checkpoint_;
+
+  std::set<uint64_t> pending_outputs_;
+  Status bg_error_;
+  bool bg_work_scheduled_ = false;
+  bool shutting_down_ = false;
+  bool compact_all_ = false;
+  UniKVStats stats_;
+
+  std::thread bg_thread_;
+
+  size_t IndexExpectedEntries() const {
+    size_t n = options_.unsorted_limit / options_.index_expected_entry_size;
+    return n < 1024 ? 1024 : n;
+  }
+  std::shared_ptr<HashIndex> GetOrCreateIndex(uint32_t pid);
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_CORE_UNIKV_DB_H_

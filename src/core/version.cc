@@ -1,0 +1,502 @@
+#include "core/version.h"
+
+#include <algorithm>
+
+#include "core/filename.h"
+#include "util/coding.h"
+#include "util/env.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace unikv {
+
+// ---------------------------------------------------------------- Version
+
+int VersionData::FindPartition(const Slice& user_key) const {
+  // Binary search over lower bounds: rightmost partition whose lower_bound
+  // is <= user_key.
+  int lo = 0, hi = static_cast<int>(partitions.size()) - 1;
+  while (lo < hi) {
+    int mid = (lo + hi + 1) / 2;
+    if (Slice(partitions[mid]->lower_bound).compare(user_key) <= 0) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+void VersionData::AddLiveFiles(std::set<uint64_t>* live) const {
+  for (const auto& p : partitions) {
+    for (const auto& f : p->unsorted) live->insert(f.number);
+    for (const auto& f : p->sorted) live->insert(f.number);
+    for (const auto& v : p->vlogs) live->insert(v.number);
+    if (p->index_checkpoint != 0) live->insert(p->index_checkpoint);
+  }
+}
+
+// ------------------------------------------------------------ VersionEdit
+
+namespace {
+
+enum EditTag : uint32_t {
+  kLogNumber = 1,
+  kNextFileNumber = 2,
+  kLastSequence = 3,
+  kNewPartition = 4,
+  kRemovePartition = 5,
+  kAddUnsorted = 6,
+  kRemoveUnsorted = 7,
+  kAddSorted = 8,
+  kRemoveSorted = 9,
+  kAddVlog = 10,
+  kRemoveVlog = 11,
+  kIndexCheckpoint = 12,
+};
+
+void PutFileMeta(std::string* dst, const FileMeta& f) {
+  PutVarint64(dst, f.number);
+  PutVarint64(dst, f.size);
+  PutVarint64(dst, f.logical);
+  PutVarint32(dst, f.table_id);
+  PutLengthPrefixedSlice(dst, Slice(f.smallest));
+  PutLengthPrefixedSlice(dst, Slice(f.largest));
+}
+
+bool GetFileMeta(Slice* input, FileMeta* f) {
+  uint32_t table_id;
+  Slice smallest, largest;
+  if (!GetVarint64(input, &f->number) || !GetVarint64(input, &f->size) ||
+      !GetVarint64(input, &f->logical) || !GetVarint32(input, &table_id) ||
+      !GetLengthPrefixedSlice(input, &smallest) ||
+      !GetLengthPrefixedSlice(input, &largest)) {
+    return false;
+  }
+  f->table_id = static_cast<uint16_t>(table_id);
+  f->smallest = smallest.ToString();
+  f->largest = largest.ToString();
+  return true;
+}
+
+}  // namespace
+
+void VersionEdit::EncodeTo(std::string* dst) const {
+  if (has_log_number_) {
+    PutVarint32(dst, kLogNumber);
+    PutVarint64(dst, log_number_);
+  }
+  if (has_next_file_number_) {
+    PutVarint32(dst, kNextFileNumber);
+    PutVarint64(dst, next_file_number_);
+  }
+  if (has_last_sequence_) {
+    PutVarint32(dst, kLastSequence);
+    PutVarint64(dst, last_sequence_);
+  }
+  for (const auto& [pid, lower] : new_partitions_) {
+    PutVarint32(dst, kNewPartition);
+    PutVarint32(dst, pid);
+    PutLengthPrefixedSlice(dst, Slice(lower));
+  }
+  for (uint32_t pid : removed_partitions_) {
+    PutVarint32(dst, kRemovePartition);
+    PutVarint32(dst, pid);
+  }
+  for (const auto& [pid, f] : new_unsorted_) {
+    PutVarint32(dst, kAddUnsorted);
+    PutVarint32(dst, pid);
+    PutFileMeta(dst, f);
+  }
+  for (const auto& [pid, number] : removed_unsorted_) {
+    PutVarint32(dst, kRemoveUnsorted);
+    PutVarint32(dst, pid);
+    PutVarint64(dst, number);
+  }
+  for (const auto& [pid, f] : new_sorted_) {
+    PutVarint32(dst, kAddSorted);
+    PutVarint32(dst, pid);
+    PutFileMeta(dst, f);
+  }
+  for (const auto& [pid, number] : removed_sorted_) {
+    PutVarint32(dst, kRemoveSorted);
+    PutVarint32(dst, pid);
+    PutVarint64(dst, number);
+  }
+  for (const auto& [pid, v] : new_vlogs_) {
+    PutVarint32(dst, kAddVlog);
+    PutVarint32(dst, pid);
+    PutVarint64(dst, v.number);
+    PutVarint64(dst, v.size);
+  }
+  for (const auto& [pid, number] : removed_vlogs_) {
+    PutVarint32(dst, kRemoveVlog);
+    PutVarint32(dst, pid);
+    PutVarint64(dst, number);
+  }
+  for (const auto& [pid, number] : index_checkpoints_) {
+    PutVarint32(dst, kIndexCheckpoint);
+    PutVarint32(dst, pid);
+    PutVarint64(dst, number);
+  }
+}
+
+Status VersionEdit::DecodeFrom(const Slice& src) {
+  Clear();
+  Slice input = src;
+  uint32_t tag;
+  while (GetVarint32(&input, &tag)) {
+    uint32_t pid;
+    uint64_t number;
+    FileMeta f;
+    switch (tag) {
+      case kLogNumber:
+        if (!GetVarint64(&input, &log_number_)) {
+          return Status::Corruption("bad edit: log number");
+        }
+        has_log_number_ = true;
+        break;
+      case kNextFileNumber:
+        if (!GetVarint64(&input, &next_file_number_)) {
+          return Status::Corruption("bad edit: next file number");
+        }
+        has_next_file_number_ = true;
+        break;
+      case kLastSequence:
+        if (!GetVarint64(&input, &last_sequence_)) {
+          return Status::Corruption("bad edit: last sequence");
+        }
+        has_last_sequence_ = true;
+        break;
+      case kNewPartition: {
+        Slice lower;
+        if (!GetVarint32(&input, &pid) ||
+            !GetLengthPrefixedSlice(&input, &lower)) {
+          return Status::Corruption("bad edit: new partition");
+        }
+        new_partitions_.emplace_back(pid, lower.ToString());
+        break;
+      }
+      case kRemovePartition:
+        if (!GetVarint32(&input, &pid)) {
+          return Status::Corruption("bad edit: remove partition");
+        }
+        removed_partitions_.push_back(pid);
+        break;
+      case kAddUnsorted:
+        if (!GetVarint32(&input, &pid) || !GetFileMeta(&input, &f)) {
+          return Status::Corruption("bad edit: add unsorted");
+        }
+        new_unsorted_.emplace_back(pid, f);
+        break;
+      case kRemoveUnsorted:
+        if (!GetVarint32(&input, &pid) || !GetVarint64(&input, &number)) {
+          return Status::Corruption("bad edit: remove unsorted");
+        }
+        removed_unsorted_.emplace_back(pid, number);
+        break;
+      case kAddSorted:
+        if (!GetVarint32(&input, &pid) || !GetFileMeta(&input, &f)) {
+          return Status::Corruption("bad edit: add sorted");
+        }
+        new_sorted_.emplace_back(pid, f);
+        break;
+      case kRemoveSorted:
+        if (!GetVarint32(&input, &pid) || !GetVarint64(&input, &number)) {
+          return Status::Corruption("bad edit: remove sorted");
+        }
+        removed_sorted_.emplace_back(pid, number);
+        break;
+      case kAddVlog: {
+        VlogMeta v;
+        if (!GetVarint32(&input, &pid) || !GetVarint64(&input, &v.number) ||
+            !GetVarint64(&input, &v.size)) {
+          return Status::Corruption("bad edit: add vlog");
+        }
+        new_vlogs_.emplace_back(pid, v);
+        break;
+      }
+      case kRemoveVlog:
+        if (!GetVarint32(&input, &pid) || !GetVarint64(&input, &number)) {
+          return Status::Corruption("bad edit: remove vlog");
+        }
+        removed_vlogs_.emplace_back(pid, number);
+        break;
+      case kIndexCheckpoint:
+        if (!GetVarint32(&input, &pid) || !GetVarint64(&input, &number)) {
+          return Status::Corruption("bad edit: index checkpoint");
+        }
+        index_checkpoints_.emplace_back(pid, number);
+        break;
+      default:
+        return Status::Corruption("unknown version edit tag");
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- VersionSet
+
+VersionSet::VersionSet(Env* env, std::string dbname)
+    : env_(env), dbname_(std::move(dbname)) {
+  current_ = std::make_shared<VersionData>();
+}
+
+VersionSet::~VersionSet() = default;
+
+Status VersionSet::Apply(const VersionEdit& edit, VersionPtr base,
+                         VersionPtr* result) {
+  // Materialize a mutable copy of the partition map.
+  std::map<uint32_t, PartitionState> parts;
+  for (const auto& p : base->partitions) {
+    parts[p->id] = *p;
+  }
+
+  if (edit.has_log_number_) log_number_ = edit.log_number_;
+  if (edit.has_next_file_number_ &&
+      edit.next_file_number_ > next_file_number_) {
+    next_file_number_ = edit.next_file_number_;
+  }
+  if (edit.has_last_sequence_ && edit.last_sequence_ > last_sequence_) {
+    last_sequence_ = edit.last_sequence_;
+  }
+
+  for (const auto& [pid, lower] : edit.new_partitions_) {
+    PartitionState p;
+    p.id = pid;
+    p.lower_bound = lower;
+    parts[pid] = std::move(p);
+    if (pid >= next_partition_id_) next_partition_id_ = pid + 1;
+  }
+  for (uint32_t pid : edit.removed_partitions_) {
+    parts.erase(pid);
+  }
+
+  auto find = [&parts](uint32_t pid) -> PartitionState* {
+    auto it = parts.find(pid);
+    return it == parts.end() ? nullptr : &it->second;
+  };
+
+  for (const auto& [pid, f] : edit.new_unsorted_) {
+    PartitionState* p = find(pid);
+    if (p == nullptr) return Status::Corruption("edit: unknown partition");
+    p->unsorted.push_back(f);
+  }
+  for (const auto& [pid, number] : edit.removed_unsorted_) {
+    PartitionState* p = find(pid);
+    if (p == nullptr) return Status::Corruption("edit: unknown partition");
+    std::erase_if(p->unsorted,
+                  [number](const FileMeta& f) { return f.number == number; });
+  }
+  for (const auto& [pid, f] : edit.new_sorted_) {
+    PartitionState* p = find(pid);
+    if (p == nullptr) return Status::Corruption("edit: unknown partition");
+    p->sorted.push_back(f);
+  }
+  for (const auto& [pid, number] : edit.removed_sorted_) {
+    PartitionState* p = find(pid);
+    if (p == nullptr) return Status::Corruption("edit: unknown partition");
+    std::erase_if(p->sorted,
+                  [number](const FileMeta& f) { return f.number == number; });
+  }
+  for (const auto& [pid, v] : edit.new_vlogs_) {
+    PartitionState* p = find(pid);
+    if (p == nullptr) return Status::Corruption("edit: unknown partition");
+    p->vlogs.push_back(v);
+  }
+  for (const auto& [pid, number] : edit.removed_vlogs_) {
+    PartitionState* p = find(pid);
+    if (p == nullptr) return Status::Corruption("edit: unknown partition");
+    std::erase_if(p->vlogs,
+                  [number](const VlogMeta& v) { return v.number == number; });
+  }
+  for (const auto& [pid, number] : edit.index_checkpoints_) {
+    PartitionState* p = find(pid);
+    if (p == nullptr) return Status::Corruption("edit: unknown partition");
+    p->index_checkpoint = number;
+  }
+
+  auto next = std::make_shared<VersionData>();
+  for (auto& [pid, p] : parts) {
+    // Keep sorted files in key order.
+    std::sort(p.sorted.begin(), p.sorted.end(),
+              [](const FileMeta& a, const FileMeta& b) {
+                return a.smallest < b.smallest;
+              });
+    next->partitions.push_back(
+        std::make_shared<const PartitionState>(std::move(p)));
+  }
+  std::sort(next->partitions.begin(), next->partitions.end(),
+            [](const auto& a, const auto& b) {
+              return a->lower_bound < b->lower_bound;
+            });
+  *result = std::move(next);
+  return Status::OK();
+}
+
+Status VersionSet::WriteSnapshot(log::Writer* log) {
+  VersionEdit edit;
+  edit.SetLogNumber(log_number_);
+  edit.SetNextFileNumber(next_file_number_);
+  edit.SetLastSequence(last_sequence_);
+  for (const auto& p : current_->partitions) {
+    edit.AddPartition(p->id, p->lower_bound);
+    for (const auto& f : p->unsorted) edit.AddUnsortedFile(p->id, f);
+    for (const auto& f : p->sorted) edit.AddSortedFile(p->id, f);
+    for (const auto& v : p->vlogs) edit.AddValueLog(p->id, v);
+    if (p->index_checkpoint != 0) {
+      edit.SetIndexCheckpoint(p->id, p->index_checkpoint);
+    }
+  }
+  std::string record;
+  edit.EncodeTo(&record);
+  return log->AddRecord(record);
+}
+
+Status VersionSet::CreateNew() {
+  // Bootstrap: one empty partition covering the whole key space.
+  VersionEdit edit;
+  edit.AddPartition(0, "");
+  edit.SetNextFileNumber(next_file_number_);
+  VersionPtr next;
+  Status s = Apply(edit, current_, &next);
+  if (!s.ok()) return s;
+  current_ = std::move(next);
+  next_partition_id_ = 1;
+  return Status::OK();
+}
+
+namespace {
+struct LogReporter : public log::Reader::Reporter {
+  Status* status;
+  void Corruption(size_t /*bytes*/, const Status& s) override {
+    if (status->ok()) *status = s;
+  }
+};
+}  // namespace
+
+Status VersionSet::Recover(bool create_if_missing, bool error_if_exists) {
+  env_->CreateDir(dbname_);
+
+  const std::string current_name = CurrentFileName(dbname_);
+  if (!env_->FileExists(current_name)) {
+    if (!create_if_missing) {
+      return Status::InvalidArgument(dbname_, "does not exist");
+    }
+    Status s = CreateNew();
+    if (!s.ok()) return s;
+  } else {
+    if (error_if_exists) {
+      return Status::InvalidArgument(dbname_, "exists");
+    }
+    // Read CURRENT to find the manifest.
+    std::unique_ptr<SequentialFile> current_file;
+    Status s = env_->NewSequentialFile(current_name, &current_file);
+    if (!s.ok()) return s;
+    char buf[64];
+    Slice contents;
+    s = current_file->Read(sizeof(buf), &contents, buf);
+    if (!s.ok()) return s;
+    std::string manifest(contents.data(), contents.size());
+    while (!manifest.empty() &&
+           (manifest.back() == '\n' || manifest.back() == '\0')) {
+      manifest.pop_back();
+    }
+    if (manifest.empty()) {
+      return Status::Corruption("CURRENT file is empty");
+    }
+
+    std::unique_ptr<SequentialFile> file;
+    s = env_->NewSequentialFile(dbname_ + "/" + manifest, &file);
+    if (!s.ok()) return s;
+
+    uint64_t manifest_number = 0;
+    FileType type;
+    ParseFileName(manifest, &manifest_number, &type);
+    if (manifest_number >= next_file_number_) {
+      next_file_number_ = manifest_number + 1;
+    }
+
+    Status replay_status;
+    LogReporter reporter;
+    reporter.status = &replay_status;
+    log::Reader reader(file.get(), &reporter, true /*checksum*/);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      VersionEdit edit;
+      s = edit.DecodeFrom(record);
+      if (!s.ok()) return s;
+      VersionPtr next;
+      s = Apply(edit, current_, &next);
+      if (!s.ok()) return s;
+      current_ = std::move(next);
+    }
+    if (!replay_status.ok()) return replay_status;
+  }
+
+  // Start a fresh manifest with a snapshot of the recovered state, then
+  // point CURRENT at it.
+  manifest_file_number_ = NewFileNumber();
+  const std::string manifest_name =
+      ManifestFileName(dbname_, manifest_file_number_);
+  std::unique_ptr<WritableFile> mfile;
+  Status s = env_->NewWritableFile(manifest_name, &mfile);
+  if (!s.ok()) return s;
+  manifest_file_ = std::move(mfile);
+  manifest_log_ = std::make_unique<log::Writer>(manifest_file_.get());
+  s = WriteSnapshot(manifest_log_.get());
+  if (!s.ok()) return s;
+  s = manifest_file_->Sync();
+  if (!s.ok()) return s;
+
+  // Atomically install CURRENT via a temp file rename.
+  const std::string tmp = TempFileName(dbname_, manifest_file_number_);
+  std::unique_ptr<WritableFile> tmp_file;
+  s = env_->NewWritableFile(tmp, &tmp_file);
+  if (!s.ok()) return s;
+  std::string base = manifest_name.substr(manifest_name.rfind('/') + 1);
+  s = tmp_file->Append(base + "\n");
+  if (s.ok()) s = tmp_file->Sync();
+  if (s.ok()) s = tmp_file->Close();
+  if (s.ok()) s = env_->RenameFile(tmp, current_name);
+  return s;
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  edit->SetNextFileNumber(next_file_number_);
+  edit->SetLastSequence(last_sequence_);
+
+  VersionPtr next;
+  Status s = Apply(*edit, current_, &next);
+  if (!s.ok()) return s;
+
+  std::string record;
+  edit->EncodeTo(&record);
+  s = manifest_log_->AddRecord(record);
+  if (s.ok()) {
+    s = manifest_file_->Sync();
+  }
+  if (!s.ok()) return s;
+
+  pinned_.push_back(current_);
+  current_ = std::move(next);
+  // Prune dead weak pointers opportunistically.
+  if (pinned_.size() > 64) {
+    std::erase_if(pinned_, [](const std::weak_ptr<const VersionData>& w) {
+      return w.expired();
+    });
+  }
+  return Status::OK();
+}
+
+void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
+  current_->AddLiveFiles(live);
+  for (const auto& w : pinned_) {
+    if (auto v = w.lock()) {
+      v->AddLiveFiles(live);
+    }
+  }
+}
+
+}  // namespace unikv

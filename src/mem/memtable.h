@@ -1,0 +1,76 @@
+#ifndef UNIKV_MEM_MEMTABLE_H_
+#define UNIKV_MEM_MEMTABLE_H_
+
+#include <atomic>
+#include <string>
+
+#include "core/dbformat.h"
+#include "core/iterator.h"
+#include "mem/skiplist.h"
+#include "util/arena.h"
+
+namespace unikv {
+
+/// In-memory write buffer: a skiplist of internal keys. Reference-counted
+/// so flush can proceed while readers hold the immutable memtable.
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drops a reference; deletes this when the count reaches zero.
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
+  }
+
+  /// Approximate memory used by this table.
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  /// Returns an iterator over internal keys (caller owns it; the memtable
+  /// must stay referenced while it is live).
+  Iterator* NewIterator();
+
+  /// Adds an entry that maps key to value at the given sequence number.
+  /// For kTypeDeletion, value is ignored.
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  /// If the memtable contains a value for key, stores it in *value and
+  /// returns true. If it contains a deletion for key, stores NotFound in
+  /// *s and returns true. Else returns false.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+  /// Number of entries added.
+  uint64_t NumEntries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  typedef SkipList<const char*, KeyComparator> Table;
+
+  ~MemTable();  // Private: use Unref().
+
+  KeyComparator comparator_;
+  std::atomic<int> refs_;
+  std::atomic<uint64_t> num_entries_;
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_MEM_MEMTABLE_H_

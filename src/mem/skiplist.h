@@ -1,0 +1,273 @@
+#ifndef UNIKV_MEM_SKIPLIST_H_
+#define UNIKV_MEM_SKIPLIST_H_
+
+/// SkipList<Key, Comparator>
+///
+/// Thread-safety contract (same as LevelDB): writes require external
+/// synchronization (one writer at a time). Reads require only that the
+/// SkipList outlives the reader; readers proceed without locks thanks to
+/// release/acquire publication of new nodes. Keys are never deleted until
+/// the list itself is destroyed.
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace unikv {
+
+template <typename Key, class Comparator>
+class SkipList {
+ private:
+  struct Node;
+
+ public:
+  /// Creates a new SkipList that uses "cmp" and allocates from "*arena".
+  /// The arena must outlive the list.
+  explicit SkipList(Comparator cmp, Arena* arena);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key; key must not already be present.
+  void Insert(const Key& key);
+
+  bool Contains(const Key& key) const;
+
+  /// Iteration over the contents of a skip list.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+
+    void Prev() {
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  enum { kMaxHeight = 12 };
+
+  inline int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  Node* NewNode(const Key& key, int height);
+  int RandomHeight();
+  bool Equal(const Key& a, const Key& b) const {
+    return (compare_(a, b) == 0);
+  }
+
+  bool KeyIsAfterNode(const Key& key, Node* n) const {
+    return (n != nullptr) && (compare_(n->key, key) < 0);
+  }
+
+  /// Returns the earliest node >= key; fills prev[0..max_height-1] with
+  /// the predecessor pointers if prev != nullptr.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const;
+
+  /// Returns the latest node < key (head_ if none).
+  Node* FindLessThan(const Key& key) const;
+
+  /// Returns the last node in the list (head_ if empty).
+  Node* FindLast() const;
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+
+  std::atomic<int> max_height_;  // Height of the entire list.
+  Random rnd_;
+};
+
+template <typename Key, class Comparator>
+struct SkipList<Key, Comparator>::Node {
+  explicit Node(const Key& k) : key(k) {}
+
+  Key const key;
+
+  Node* Next(int n) {
+    assert(n >= 0);
+    // Acquire: observe fully initialized versions of the returned node.
+    return next_[n].load(std::memory_order_acquire);
+  }
+  void SetNext(int n, Node* x) {
+    assert(n >= 0);
+    // Release: anyone who reads through this pointer observes a fully
+    // initialized inserted node.
+    next_[n].store(x, std::memory_order_release);
+  }
+
+  Node* NoBarrier_Next(int n) {
+    assert(n >= 0);
+    return next_[n].load(std::memory_order_relaxed);
+  }
+  void NoBarrier_SetNext(int n, Node* x) {
+    assert(n >= 0);
+    next_[n].store(x, std::memory_order_relaxed);
+  }
+
+ private:
+  // Array of length equal to the node height; next_[0] is the lowest level.
+  std::atomic<Node*> next_[1];
+};
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::NewNode(
+    const Key& key, int height) {
+  char* const node_memory = arena_->AllocateAligned(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (node_memory) Node(key);
+}
+
+template <typename Key, class Comparator>
+int SkipList<Key, Comparator>::RandomHeight() {
+  // Increase height with probability 1 in kBranching.
+  static const unsigned int kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    height++;
+  }
+  assert(height > 0);
+  assert(height <= kMaxHeight);
+  return height;
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindGreaterOrEqual(const Key& key,
+                                              Node** prev) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (KeyIsAfterNode(key, next)) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) {
+        return next;
+      }
+      level--;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindLessThan(const Key& key) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    assert(x == head_ || compare_(x->key, key) < 0);
+    Node* next = x->Next(level);
+    if (next == nullptr || compare_(next->key, key) >= 0) {
+      if (level == 0) {
+        return x;
+      }
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::FindLast()
+    const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next == nullptr) {
+      if (level == 0) {
+        return x;
+      }
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+SkipList<Key, Comparator>::SkipList(Comparator cmp, Arena* arena)
+    : compare_(cmp),
+      arena_(arena),
+      head_(NewNode(Key() /* any key will do */, kMaxHeight)),
+      max_height_(1),
+      rnd_(0xdeadbeef) {
+  for (int i = 0; i < kMaxHeight; i++) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::Insert(const Key& key) {
+  Node* prev[kMaxHeight];
+  Node* x = FindGreaterOrEqual(key, prev);
+
+  // Our structure does not allow duplicate insertion.
+  assert(x == nullptr || !Equal(key, x->key));
+  (void)x;
+
+  int height = RandomHeight();
+  if (height > GetMaxHeight()) {
+    for (int i = GetMaxHeight(); i < height; i++) {
+      prev[i] = head_;
+    }
+    // A concurrent reader observing the new max_height_ before the new
+    // node pointers will just descend from head_, which is harmless.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  x = NewNode(key, height);
+  for (int i = 0; i < height; i++) {
+    x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
+    prev[i]->SetNext(i, x);
+  }
+}
+
+template <typename Key, class Comparator>
+bool SkipList<Key, Comparator>::Contains(const Key& key) const {
+  Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && Equal(key, x->key);
+}
+
+}  // namespace unikv
+
+#endif  // UNIKV_MEM_SKIPLIST_H_

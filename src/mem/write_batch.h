@@ -1,0 +1,60 @@
+#ifndef UNIKV_MEM_WRITE_BATCH_H_
+#define UNIKV_MEM_WRITE_BATCH_H_
+
+#include <string>
+
+#include "core/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace unikv {
+
+class MemTable;
+
+/// WriteBatch holds an ordered collection of updates to apply atomically.
+/// Its serialized representation is exactly what is written to the WAL:
+///   sequence(8B) count(4B) records[count]
+///   record := kTypeValue    varstring(key) varstring(value)
+///           | kTypeDeletion varstring(key)
+class WriteBatch {
+ public:
+  WriteBatch();
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  /// Number of records in the batch.
+  int Count() const;
+
+  /// Approximate size in bytes of the serialized batch.
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  /// Handler used by Iterate().
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  // --- Internal plumbing (used by DB implementations) ---
+  SequenceNumber Sequence() const;
+  void SetSequence(SequenceNumber seq);
+  Slice Contents() const { return Slice(rep_); }
+  void SetContents(const Slice& contents);
+  /// Appends src's records to this batch.
+  void Append(const WriteBatch& src);
+  /// Inserts the batch contents into a memtable using its stored sequence.
+  Status InsertInto(MemTable* memtable) const;
+
+ private:
+  void SetCount(int n);
+
+  std::string rep_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_MEM_WRITE_BATCH_H_

@@ -1,0 +1,41 @@
+#ifndef UNIKV_TABLE_BLOCK_H_
+#define UNIKV_TABLE_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dbformat.h"
+#include "core/iterator.h"
+#include "table/format.h"
+
+namespace unikv {
+
+/// An immutable, parsed block with restart-point binary search.
+class Block {
+ public:
+  /// Takes ownership per contents.heap_allocated.
+  explicit Block(const BlockContents& contents);
+  ~Block();
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return size_; }
+
+  /// Iterator over (internal key, value) entries ordered by `cmp`.
+  Iterator* NewIterator(const InternalKeyComparator& cmp);
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  const char* data_;
+  size_t size_;
+  uint32_t restart_offset_;  // Offset in data_ of the restart array.
+  bool owned_;               // Block owns data_[].
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_TABLE_BLOCK_H_

@@ -1,0 +1,74 @@
+#include "table/block_builder.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace unikv {
+
+// Block format:
+//   entry := shared(varint32) non_shared(varint32) value_len(varint32)
+//            key_delta value
+//   trailer := restarts[num_restarts] (fixed32 each) num_restarts(fixed32)
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval), counter_(0), finished_(false) {
+  assert(restart_interval_ >= 1);
+  restarts_.push_back(0);  // First restart point is at offset 0.
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  finished_ = false;
+  last_key_.clear();
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return (buffer_.size() + restarts_.size() * sizeof(uint32_t) +
+          sizeof(uint32_t));
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t restart : restarts_) {
+    PutFixed32(&buffer_, restart);
+  }
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  Slice last_key_piece(last_key_);
+  assert(!finished_);
+  assert(counter_ <= restart_interval_);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    // See how much sharing to do with the previous key.
+    const size_t min_length = std::min(last_key_piece.size(), key.size());
+    while ((shared < min_length) && (last_key_piece[shared] == key[shared])) {
+      shared++;
+    }
+  } else {
+    // Restart compression.
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, non_shared);
+  assert(Slice(last_key_) == key);
+  counter_++;
+}
+
+}  // namespace unikv

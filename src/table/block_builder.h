@@ -1,0 +1,45 @@
+#ifndef UNIKV_TABLE_BLOCK_BUILDER_H_
+#define UNIKV_TABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace unikv {
+
+/// Builds a block with prefix-compressed keys and restart points.
+/// Keys must be added in sorted order.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  /// Adds a key/value pair. REQUIRES: key > all previously added keys.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finishes building; returns a slice valid until Reset().
+  Slice Finish();
+
+  /// Estimated (uncompressed) size of the block under construction.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;    // Entries since the last restart point.
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_TABLE_BLOCK_BUILDER_H_

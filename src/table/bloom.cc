@@ -1,0 +1,69 @@
+#include "table/bloom.h"
+
+#include "util/hash.h"
+
+namespace unikv {
+
+static uint32_t BloomHash(const Slice& key) {
+  return Hash(key.data(), key.size(), 0xbc9f1d34);
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // ln(2) * bits/key rounded; clamp to [1, 30].
+  k_ = static_cast<int>(bits_per_key * 0.69);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 30) k_ = 30;
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+void BloomFilterBuilder::Finish(std::string* dst) {
+  size_t n = hashes_.size();
+  size_t bits = n * bits_per_key_;
+  if (bits < 64) bits = 64;
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const size_t init_size = dst->size();
+  dst->resize(init_size + bytes, 0);
+  dst->push_back(static_cast<char>(k_));  // k stored at the end.
+  char* array = &(*dst)[init_size];
+  for (uint32_t h : hashes_) {
+    // Double hashing: rotate delta.
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < k_; j++) {
+      const uint32_t bitpos = h % bits;
+      array[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  hashes_.clear();
+}
+
+bool BloomFilterMayMatch(const Slice& key, const Slice& bloom_filter) {
+  const size_t len = bloom_filter.size();
+  if (len < 2) return false;
+
+  const char* array = bloom_filter.data();
+  const size_t bits = (len - 1) * 8;
+
+  const int k = array[len - 1];
+  if (k > 30) {
+    // Reserved for potentially new encodings: treat as a match.
+    return true;
+  }
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace unikv

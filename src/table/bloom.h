@@ -1,0 +1,37 @@
+#ifndef UNIKV_TABLE_BLOOM_H_
+#define UNIKV_TABLE_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace unikv {
+
+/// Standard double-hashing bloom filter (as in LevelDB). UniKV's own
+/// stores do not use bloom filters (the unified index replaces them); the
+/// LSM baselines attach one per table.
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(const Slice& key);
+
+  /// Appends the encoded filter for all added keys to *dst and resets.
+  void Finish(std::string* dst);
+
+  size_t NumKeys() const { return hashes_.size(); }
+
+ private:
+  int bits_per_key_;
+  int k_;  // Number of probes.
+  std::vector<uint32_t> hashes_;
+};
+
+/// Returns true if the key may be in the set encoded in `filter`
+/// (false positives possible, false negatives not).
+bool BloomFilterMayMatch(const Slice& key, const Slice& filter);
+
+}  // namespace unikv
+
+#endif  // UNIKV_TABLE_BLOOM_H_

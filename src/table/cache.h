@@ -1,0 +1,48 @@
+#ifndef UNIKV_TABLE_CACHE_H_
+#define UNIKV_TABLE_CACHE_H_
+
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace unikv {
+
+/// A sharded LRU cache mapping keys to opaque values, with handle-based
+/// pinning. Used as the block cache and the open-table cache.
+class Cache {
+ public:
+  Cache() = default;
+  virtual ~Cache();
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Opaque handle to a cache entry.
+  struct Handle {};
+
+  /// Inserts key→value with the given charge against the capacity.
+  /// `deleter` is invoked when the entry is evicted and unpinned.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  /// Returns a pinned handle or nullptr. Call Release() when done.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  virtual void Release(Handle* handle) = 0;
+  virtual void* Value(Handle* handle) = 0;
+
+  /// Drops the entry if present (it stays alive until unpinned).
+  virtual void Erase(const Slice& key) = 0;
+
+  /// A new unique id, for constructing disjoint key spaces.
+  virtual uint64_t NewId() = 0;
+
+  virtual size_t TotalCharge() const = 0;
+};
+
+/// Creates a cache with a fixed capacity (in charge units, typically bytes).
+Cache* NewLRUCache(size_t capacity);
+
+}  // namespace unikv
+
+#endif  // UNIKV_TABLE_CACHE_H_

@@ -1,0 +1,303 @@
+#include "table/table.h"
+
+#include <string>
+
+#include "table/block.h"
+#include "table/bloom.h"
+#include "table/cache.h"
+#include "table/format.h"
+#include "util/coding.h"
+#include "util/env.h"
+
+namespace unikv {
+
+struct Table::Rep {
+  ~Rep() { delete index_block; }
+
+  TableOptions options;
+  Status status;
+  std::unique_ptr<RandomAccessFile> file;
+  uint64_t cache_id = 0;
+  Cache* block_cache = nullptr;
+
+  std::string filter_data;  // Whole-table bloom filter (may be empty).
+  Block* index_block = nullptr;
+  InternalKeyComparator icmp;
+};
+
+Status Table::Open(const TableOptions& options,
+                   std::unique_ptr<RandomAccessFile> file, uint64_t size,
+                   Cache* block_cache, Table** table) {
+  *table = nullptr;
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                        &footer_input, footer_space);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  // Read the index block.
+  BlockContents index_block_contents;
+  s = ReadBlock(file.get(), footer.index_handle(), &index_block_contents);
+  if (!s.ok()) return s;
+
+  Rep* rep = new Rep;
+  rep->options = options;
+  rep->file = std::move(file);
+  rep->index_block = new Block(index_block_contents);
+  rep->block_cache = block_cache;
+  rep->cache_id = (block_cache != nullptr) ? block_cache->NewId() : 0;
+
+  // Read the filter block, if any.
+  if (footer.filter_handle().size() > 0) {
+    BlockContents filter_contents;
+    if (ReadBlock(rep->file.get(), footer.filter_handle(), &filter_contents)
+            .ok()) {
+      rep->filter_data.assign(filter_contents.data.data(),
+                              filter_contents.data.size());
+      if (filter_contents.heap_allocated) {
+        delete[] filter_contents.data.data();
+      }
+    }
+  }
+
+  *table = new Table(rep);
+  return Status::OK();
+}
+
+Table::~Table() { delete rep_; }
+
+bool Table::KeyMayMatch(const Slice& user_key) const {
+  if (rep_->filter_data.empty()) return true;
+  return BloomFilterMayMatch(user_key, Slice(rep_->filter_data));
+}
+
+static void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  Block* block = reinterpret_cast<Block*>(value);
+  delete block;
+}
+
+static void DeleteBlock(void* arg) { delete reinterpret_cast<Block*>(arg); }
+
+static void ReleaseBlockHandle(Cache* cache, Cache::Handle* handle) {
+  cache->Release(handle);
+}
+
+Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
+  Rep* r = rep_;
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+
+  if (r->block_cache != nullptr) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, r->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, handle.offset());
+    Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+    cache_handle = r->block_cache->Lookup(key);
+    if (cache_handle != nullptr) {
+      block = reinterpret_cast<Block*>(r->block_cache->Value(cache_handle));
+    } else {
+      BlockContents contents;
+      Status s = ReadBlock(r->file.get(), handle, &contents);
+      if (!s.ok()) return NewErrorIterator(s);
+      block = new Block(contents);
+      if (contents.cachable) {
+        cache_handle = r->block_cache->Insert(key, block, block->size(),
+                                              &DeleteCachedBlock);
+      }
+    }
+  } else {
+    BlockContents contents;
+    Status s = ReadBlock(r->file.get(), handle, &contents);
+    if (!s.ok()) return NewErrorIterator(s);
+    block = new Block(contents);
+  }
+
+  Iterator* iter = block->NewIterator(r->icmp);
+  if (cache_handle != nullptr) {
+    Cache* cache = r->block_cache;
+    iter->RegisterCleanup(
+        [cache, cache_handle] { ReleaseBlockHandle(cache, cache_handle); });
+  } else {
+    iter->RegisterCleanup([block] { DeleteBlock(block); });
+  }
+  return iter;
+}
+
+namespace {
+
+/// Iterates over the entries of a table by driving an index-block iterator
+/// whose values are handles to data blocks.
+class TwoLevelIterator : public Iterator {
+ public:
+  TwoLevelIterator(const Table* table, Iterator* index_iter)
+      : table_(table), index_iter_(index_iter) {}
+
+  ~TwoLevelIterator() override {
+    delete index_iter_;
+    delete data_iter_;
+  }
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    SkipEmptyDataBlocksBackward();
+  }
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+  void Prev() override {
+    assert(Valid());
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return data_iter_->key();
+  }
+  Slice value() const override {
+    assert(Valid());
+    return data_iter_->value();
+  }
+  Status status() const override {
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void SaveError(const Status& s) {
+    if (status_.ok() && !s.ok()) status_ = s;
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataIterator(nullptr);
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    }
+  }
+
+  void SetDataIterator(Iterator* data_iter) {
+    if (data_iter_ != nullptr) SaveError(data_iter_->status());
+    delete data_iter_;
+    data_iter_ = data_iter;
+  }
+
+  void InitDataBlock();
+
+  const Table* table_;
+  Iterator* index_iter_;
+  Iterator* data_iter_ = nullptr;
+  std::string data_block_handle_;
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* Table::BlockReader(void* arg, const Slice& index_value) {
+  const Table* table = reinterpret_cast<const Table*>(arg);
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) return NewErrorIterator(s);
+  return table->NewBlockIterator(handle);
+}
+
+void TwoLevelIterator::InitDataBlock() {
+  if (!index_iter_->Valid()) {
+    SetDataIterator(nullptr);
+    return;
+  }
+  Slice handle = index_iter_->value();
+  if (data_iter_ != nullptr &&
+      handle.compare(Slice(data_block_handle_)) == 0) {
+    // Already at the right block.
+    return;
+  }
+  Iterator* iter = Table::BlockReader(
+      const_cast<void*>(reinterpret_cast<const void*>(table_)), handle);
+  data_block_handle_.assign(handle.data(), handle.size());
+  SetDataIterator(iter);
+}
+
+Iterator* Table::NewIterator() const {
+  return new TwoLevelIterator(this, rep_->index_block->NewIterator(rep_->icmp));
+}
+
+Status Table::Get(const Slice& internal_key, bool* found, std::string* key_out,
+                  std::string* value_out) const {
+  *found = false;
+  RecordAccess();
+  Iterator* index_iter = rep_->index_block->NewIterator(rep_->icmp);
+  index_iter->Seek(internal_key);
+  Status s;
+  if (index_iter->Valid()) {
+    BlockHandle handle;
+    Slice input = index_iter->value();
+    s = handle.DecodeFrom(&input);
+    if (s.ok()) {
+      Iterator* block_iter = NewBlockIterator(handle);
+      block_iter->Seek(internal_key);
+      if (block_iter->Valid()) {
+        *found = true;
+        key_out->assign(block_iter->key().data(), block_iter->key().size());
+        value_out->assign(block_iter->value().data(),
+                          block_iter->value().size());
+      }
+      s = block_iter->status();
+      delete block_iter;
+    }
+  } else {
+    s = index_iter->status();
+  }
+  delete index_iter;
+  return s;
+}
+
+}  // namespace unikv

@@ -1,0 +1,73 @@
+#ifndef UNIKV_TABLE_TABLE_H_
+#define UNIKV_TABLE_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/iterator.h"
+#include "table/table_builder.h"
+#include "util/status.h"
+
+namespace unikv {
+
+class Block;
+class BlockHandle;
+class Cache;
+class RandomAccessFile;
+
+/// An immutable, sorted map from internal keys to values backed by an
+/// SSTable file. Safe for concurrent reads without external locking.
+class Table {
+ public:
+  /// Opens the table stored in file[0..file_size). On success *table is
+  /// set and owns `file`. `block_cache` (optional) caches data blocks
+  /// across tables; it must outlive the table.
+  static Status Open(const TableOptions& options,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size, Cache* block_cache, Table** table);
+
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Returns a new iterator over the table contents.
+  Iterator* NewIterator() const;
+
+  /// Seeks to the first entry with internal key >= `internal_key`. If such
+  /// an entry exists in this table, stores its key/value and sets *found.
+  Status Get(const Slice& internal_key, bool* found, std::string* key_out,
+             std::string* value_out) const;
+
+  /// Bloom-filter check on a user key. Always true when the table was
+  /// built without a filter.
+  bool KeyMayMatch(const Slice& user_key) const;
+
+  /// Number of Get/Seek probes served by this table (Fig. 2 motivation
+  /// experiment instrumentation).
+  uint64_t AccessCount() const {
+    return access_count_.load(std::memory_order_relaxed);
+  }
+  void RecordAccess() const {
+    access_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Decodes a BlockHandle from `index_value` and returns an iterator over
+  /// that data block. `arg` is the Table*. (Used by the two-level iterator.)
+  static Iterator* BlockReader(void* arg, const Slice& index_value);
+
+ private:
+  struct Rep;
+
+  explicit Table(Rep* rep) : rep_(rep) {}
+
+  Iterator* NewBlockIterator(const BlockHandle& handle) const;
+
+  Rep* const rep_;
+  mutable std::atomic<uint64_t> access_count_{0};
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_TABLE_TABLE_H_

@@ -1,0 +1,55 @@
+#ifndef UNIKV_UTIL_ARENA_H_
+#define UNIKV_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace unikv {
+
+/// Arena provides fast allocation of many small objects with bulk
+/// deallocation (everything is freed when the arena is destroyed). Used by
+/// the memtable/skiplist.
+class Arena {
+ public:
+  Arena();
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to a newly allocated block of `bytes` bytes.
+  char* Allocate(size_t bytes);
+
+  /// Allocate with normal malloc alignment guarantees.
+  char* AllocateAligned(size_t bytes);
+
+  /// Estimate of total memory used by the arena.
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<char*> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_ARENA_H_

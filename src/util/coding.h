@@ -1,0 +1,83 @@
+#ifndef UNIKV_UTIL_CODING_H_
+#define UNIKV_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace unikv {
+
+// Fixed-width little-endian encodings -------------------------------------
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  uint8_t* const buffer = reinterpret_cast<uint8_t*>(dst);
+  buffer[0] = static_cast<uint8_t>(value);
+  buffer[1] = static_cast<uint8_t>(value >> 8);
+  buffer[2] = static_cast<uint8_t>(value >> 16);
+  buffer[3] = static_cast<uint8_t>(value >> 24);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  uint8_t* const buffer = reinterpret_cast<uint8_t*>(dst);
+  for (int i = 0; i < 8; i++) {
+    buffer[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  const uint8_t* const buffer = reinterpret_cast<const uint8_t*>(ptr);
+  return (static_cast<uint32_t>(buffer[0])) |
+         (static_cast<uint32_t>(buffer[1]) << 8) |
+         (static_cast<uint32_t>(buffer[2]) << 16) |
+         (static_cast<uint32_t>(buffer[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  const uint8_t* const buffer = reinterpret_cast<const uint8_t*>(ptr);
+  uint64_t result = 0;
+  for (int i = 0; i < 8; i++) {
+    result |= static_cast<uint64_t>(buffer[i]) << (8 * i);
+  }
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// Varint encodings ---------------------------------------------------------
+
+/// Appends a varint32 to *dst.
+void PutVarint32(std::string* dst, uint32_t value);
+/// Appends a varint64 to *dst.
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint32 length followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Writes value into dst[0..] and returns a pointer just past the last
+/// written byte. dst must have room for up to 5 bytes.
+char* EncodeVarint32(char* dst, uint32_t value);
+/// As above; dst must have room for up to 10 bytes.
+char* EncodeVarint64(char* dst, uint64_t value);
+
+/// Parses a varint32 from *input, advancing it. Returns false on underflow
+/// or malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+/// Reads a fixed64 from *input, advancing it.
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+
+/// Low-level varint32 parser over [p, limit); returns nullptr on error, else
+/// a pointer just past the parsed value.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Number of bytes EncodeVarint64 would produce.
+int VarintLength(uint64_t v);
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_CODING_H_

@@ -1,0 +1,34 @@
+#ifndef UNIKV_UTIL_CRC32C_H_
+#define UNIKV_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace unikv {
+namespace crc32c {
+
+/// Returns the CRC-32C (Castagnoli) of data[0,n-1], extending `init_crc`
+/// (the CRC of a preceding byte string).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC-32C of data[0,n-1].
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+static const uint32_t kMaskDelta = 0xa282ead8ul;
+
+/// Returns a masked representation of crc, for storing CRCs of data that
+/// itself contains embedded CRCs (avoids fixed-point problems).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_CRC32C_H_

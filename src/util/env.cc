@@ -1,0 +1,137 @@
+#include "util/env.h"
+
+namespace unikv {
+
+namespace {
+
+class CountingSequentialFile : public SequentialFile {
+ public:
+  CountingSequentialFile(std::unique_ptr<SequentialFile> base, IoStats* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok()) {
+      stats_->bytes_read.fetch_add(result->size(), std::memory_order_relaxed);
+      stats_->reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  IoStats* stats_;
+};
+
+class CountingRandomAccessFile : public RandomAccessFile {
+ public:
+  CountingRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                           IoStats* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      stats_->bytes_read.fetch_add(result->size(), std::memory_order_relaxed);
+      stats_->reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+  void ReadaheadHint(uint64_t offset, size_t n) const override {
+    base_->ReadaheadHint(offset, n);
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  IoStats* stats_;
+};
+
+class CountingWritableFile : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> base, IoStats* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Append(const Slice& data) override {
+    Status s = base_->Append(data);
+    if (s.ok()) {
+      stats_->bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+      stats_->writes.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+  Status Close() override { return base_->Close(); }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    stats_->syncs.fetch_add(1, std::memory_order_relaxed);
+    return base_->Sync();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  IoStats* stats_;
+};
+
+}  // namespace
+
+Status InstrumentedEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> base;
+  Status s = base_->NewSequentialFile(fname, &base);
+  if (s.ok()) {
+    result->reset(new CountingSequentialFile(std::move(base), &stats_));
+  }
+  return s;
+}
+
+Status InstrumentedEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base;
+  Status s = base_->NewRandomAccessFile(fname, &base);
+  if (s.ok()) {
+    result->reset(new CountingRandomAccessFile(std::move(base), &stats_));
+  }
+  return s;
+}
+
+Status InstrumentedEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base;
+  Status s = base_->NewWritableFile(fname, &base);
+  if (s.ok()) {
+    result->reset(new CountingWritableFile(std::move(base), &stats_));
+  }
+  return s;
+}
+
+Status InstrumentedEnv::NewAppendableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base;
+  Status s = base_->NewAppendableFile(fname, &base);
+  if (s.ok()) {
+    result->reset(new CountingWritableFile(std::move(base), &stats_));
+  }
+  return s;
+}
+
+Status RemoveDirRecursively(Env* env, const std::string& dir) {
+  std::vector<std::string> children;
+  Status s = env->GetChildren(dir, &children);
+  if (!s.ok()) {
+    return Status::OK();  // Nothing to remove.
+  }
+  for (const std::string& child : children) {
+    if (child == "." || child == "..") continue;
+    const std::string path = dir + "/" + child;
+    uint64_t size;
+    if (env->GetFileSize(path, &size).ok()) {
+      env->RemoveFile(path);
+    } else {
+      RemoveDirRecursively(env, path);
+    }
+  }
+  return env->RemoveDir(dir);
+}
+
+}  // namespace unikv

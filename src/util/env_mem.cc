@@ -1,0 +1,230 @@
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "util/env.h"
+
+namespace unikv {
+
+namespace {
+
+// A file's contents plus the prefix length that has been made durable via
+// Sync(). DropUnsyncedData() truncates back to synced_size.
+struct MemFile {
+  std::string data;
+  size_t synced_size = 0;
+};
+
+class MemEnvImpl;
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  MemSequentialFile(std::shared_ptr<MemFile> file) : file_(std::move(file)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    size_t available = file_->data.size() - std::min(pos_, file_->data.size());
+    size_t len = std::min(n, available);
+    memcpy(scratch, file_->data.data() + pos_, len);
+    *result = Slice(scratch, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(std::shared_ptr<MemFile> file) : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    if (offset >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t len = std::min(n, file_->data.size() - static_cast<size_t>(offset));
+    memcpy(scratch, file_->data.data() + offset, len);
+    *result = Slice(scratch, len);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<MemFile> file) : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    file_->data.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override {
+    file_->synced_size = file_->data.size();
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+};
+
+class MemEnvImpl : public MemEnv {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname);
+    }
+    result->reset(new MemSequentialFile(it->second));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname);
+    }
+    result->reset(new MemRandomAccessFile(it->second));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> l(mu_);
+    auto file = std::make_shared<MemFile>();
+    files_[fname] = file;
+    result->reset(new MemWritableFile(std::move(file)));
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    std::shared_ptr<MemFile> file;
+    if (it == files_.end()) {
+      file = std::make_shared<MemFile>();
+      files_[fname] = file;
+    } else {
+      file = it->second;
+    }
+    result->reset(new MemWritableFile(std::move(file)));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    std::lock_guard<std::mutex> l(mu_);
+    result->clear();
+    const std::string prefix = dir.back() == '/' ? dir : dir + "/";
+    std::set<std::string> names;
+    for (const auto& [path, file] : files_) {
+      if (path.size() > prefix.size() &&
+          path.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = path.substr(prefix.size());
+        size_t slash = rest.find('/');
+        names.insert(slash == std::string::npos ? rest
+                                                : rest.substr(0, slash));
+      }
+    }
+    result->assign(names.begin(), names.end());
+    if (result->empty() && dirs_.count(dir) == 0) {
+      return Status::NotFound(dir);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::NotFound(fname);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    std::lock_guard<std::mutex> l(mu_);
+    dirs_.insert(dirname);
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    std::lock_guard<std::mutex> l(mu_);
+    dirs_.erase(dirname);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      *size = 0;
+      return Status::NotFound(fname);
+    }
+    *size = it->second->data.size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::NotFound(src);
+    }
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  uint64_t NowMicros() override { return Env::Default()->NowMicros(); }
+  void SleepForMicroseconds(int micros) override {
+    Env::Default()->SleepForMicroseconds(micros);
+  }
+
+  void DropUnsyncedData() override {
+    std::lock_guard<std::mutex> l(mu_);
+    for (auto it = files_.begin(); it != files_.end();) {
+      MemFile* f = it->second.get();
+      if (f->synced_size == 0) {
+        // Never synced: the file would not have survived the crash.
+        it = files_.erase(it);
+      } else {
+        f->data.resize(f->synced_size);
+        ++it;
+      }
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace
+
+MemEnv* NewMemEnv() { return new MemEnvImpl(); }
+
+}  // namespace unikv

@@ -1,0 +1,69 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace unikv {
+
+uint32_t Hash(const char* data, size_t n, uint32_t seed) {
+  // Murmur-like hash (as in LevelDB).
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w = DecodeFixed32(data);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint8_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  // A 64-bit mixing hash in the spirit of xxhash64 / splitmix64 finalizers.
+  const uint64_t kMul = 0x9ddfea08eb382d69ULL;
+  uint64_t h = seed ^ (n * kMul);
+  const char* limit = data + n;
+  while (data + 8 <= limit) {
+    uint64_t w = DecodeFixed64(data);
+    data += 8;
+    h ^= w * kMul;
+    h = (h << 31) | (h >> 33);
+    h *= kMul;
+  }
+  uint64_t tail = 0;
+  int shift = 0;
+  while (data < limit) {
+    tail |= static_cast<uint64_t>(static_cast<uint8_t>(*data)) << shift;
+    shift += 8;
+    data++;
+  }
+  h ^= tail * kMul;
+  // splitmix64 finalizer
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace unikv

@@ -1,0 +1,29 @@
+#ifndef UNIKV_UTIL_HASH_H_
+#define UNIKV_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace unikv {
+
+/// 32-bit Murmur-style hash used by bloom filters and the block cache.
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+/// 64-bit hash (xxhash-inspired mix) used by the two-level hash index,
+/// parameterized by seed so several independent hash functions can be
+/// derived for cuckoo-style placement.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+
+inline uint32_t HashSlice(const Slice& s, uint32_t seed = 0xbc9f1d34) {
+  return Hash(s.data(), s.size(), seed);
+}
+
+inline uint64_t Hash64Slice(const Slice& s, uint64_t seed) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_HASH_H_

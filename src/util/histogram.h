@@ -1,0 +1,43 @@
+#ifndef UNIKV_UTIL_HISTOGRAM_H_
+#define UNIKV_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unikv {
+
+/// Latency histogram with exponential buckets; reports mean, percentiles,
+/// min/max. Used by the benchmark drivers.
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  double Median() const { return Percentile(50.0); }
+  double Percentile(double p) const;
+  double Average() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  uint64_t Count() const { return num_; }
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;
+  static const double kBucketLimit[kNumBuckets];
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_HISTOGRAM_H_

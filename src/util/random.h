@@ -1,0 +1,88 @@
+#ifndef UNIKV_UTIL_RANDOM_H_
+#define UNIKV_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace unikv {
+
+/// A simple, fast pseudo-random generator (Lehmer / Park-Miller), matching
+/// the one used by LevelDB. Deterministic given a seed; not thread-safe.
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) {
+      seed_ -= M;
+    }
+    return seed_;
+  }
+
+  /// Uniform in [0, n-1]; n > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 31) | Next();
+  }
+
+  /// True with probability 1/n.
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  /// Skewed: picks base in [0, max_log] uniformly, then returns uniform in
+  /// [0, 2^base - 1]. Favors small numbers exponentially.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+ private:
+  uint32_t seed_;
+};
+
+/// Zipfian-distributed generator over [0, n-1] following the YCSB
+/// implementation (Gray et al. "Quickly Generating Billion-Record Synthetic
+/// Databases"). theta defaults to the YCSB constant 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint32_t seed = 12345)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2theta_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2theta_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.Next() / 2147483647.0;
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zetan_, zeta2theta_, alpha_, eta_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_RANDOM_H_

@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace unikv {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+  msg_.assign(msg.data(), msg.size());
+  if (!msg2.empty()) {
+    msg_.append(": ");
+    msg_.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  const char* type;
+  switch (code_) {
+    case kOk:
+      return "OK";
+    case kNotFound:
+      type = "NotFound: ";
+      break;
+    case kCorruption:
+      type = "Corruption: ";
+      break;
+    case kNotSupported:
+      type = "Not supported: ";
+      break;
+    case kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case kIOError:
+      type = "IO error: ";
+      break;
+    case kBusy:
+      type = "Busy: ";
+      break;
+    default:
+      type = "Unknown code: ";
+      break;
+  }
+  return std::string(type) + msg_;
+}
+
+}  // namespace unikv

@@ -1,0 +1,68 @@
+#ifndef UNIKV_UTIL_STATUS_H_
+#define UNIKV_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace unikv {
+
+/// Status represents success or one of several classes of error, with an
+/// attached human-readable message. It is returned by most operations that
+/// can fail; exceptions are not used on hot paths.
+class Status {
+ public:
+  Status() : code_(kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kBusy, msg, msg2);
+  }
+
+  bool ok() const { return code_ == kOk; }
+  bool IsNotFound() const { return code_ == kNotFound; }
+  bool IsCorruption() const { return code_ == kCorruption; }
+  bool IsIOError() const { return code_ == kIOError; }
+  bool IsNotSupported() const { return code_ == kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == kInvalidArgument; }
+  bool IsBusy() const { return code_ == kBusy; }
+
+  /// Returns a string like "Corruption: bad block checksum".
+  std::string ToString() const;
+
+ private:
+  enum Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_STATUS_H_

@@ -1,0 +1,190 @@
+#include "vlog/value_log.h"
+
+#include "core/filename.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace unikv {
+
+void ValuePointer::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, partition);
+  PutVarint64(dst, log_number);
+  PutVarint64(dst, offset);
+  PutVarint32(dst, size);
+}
+
+bool ValuePointer::DecodeFrom(Slice* input) {
+  return GetVarint32(input, &partition) && GetVarint64(input, &log_number) &&
+         GetVarint64(input, &offset) && GetVarint32(input, &size);
+}
+
+ValueLogWriter::ValueLogWriter(std::unique_ptr<WritableFile> file,
+                               uint32_t partition, uint64_t log_number)
+    : file_(std::move(file)), partition_(partition), log_number_(log_number) {}
+
+Status ValueLogWriter::Add(const Slice& key, const Slice& value,
+                           ValuePointer* ptr) {
+  scratch_.clear();
+  scratch_.resize(4);  // Space for the crc.
+  PutVarint32(&scratch_, static_cast<uint32_t>(key.size()));
+  PutVarint32(&scratch_, static_cast<uint32_t>(value.size()));
+  scratch_.append(key.data(), key.size());
+  scratch_.append(value.data(), value.size());
+  uint32_t crc = crc32c::Value(scratch_.data() + 4, scratch_.size() - 4);
+  EncodeFixed32(&scratch_[0], crc32c::Mask(crc));
+
+  Status s = file_->Append(Slice(scratch_));
+  if (!s.ok()) return s;
+
+  ptr->partition = partition_;
+  ptr->log_number = log_number_;
+  ptr->offset = offset_;
+  ptr->size = static_cast<uint32_t>(scratch_.size());
+  offset_ += scratch_.size();
+  return Status::OK();
+}
+
+Status DecodeValueRecord(const Slice& record, Slice* key, Slice* value) {
+  Slice input = record;
+  uint32_t crc_stored;
+  if (!GetFixed32(&input, &crc_stored)) {
+    return Status::Corruption("value record too short");
+  }
+  uint32_t crc = crc32c::Value(input.data(), input.size());
+  if (crc32c::Unmask(crc_stored) != crc) {
+    return Status::Corruption("value record checksum mismatch");
+  }
+  uint32_t key_len, val_len;
+  if (!GetVarint32(&input, &key_len) || !GetVarint32(&input, &val_len) ||
+      input.size() != static_cast<size_t>(key_len) + val_len) {
+    return Status::Corruption("malformed value record");
+  }
+  *key = Slice(input.data(), key_len);
+  *value = Slice(input.data() + key_len, val_len);
+  return Status::OK();
+}
+
+ValueLogCache::ValueLogCache(Env* env, std::string dbname)
+    : env_(env), dbname_(std::move(dbname)) {}
+
+Status ValueLogCache::GetFile(const ValuePointer& ptr,
+                              std::shared_ptr<RandomAccessFile>* file) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(ptr.log_number);
+  if (it != files_.end()) {
+    *file = it->second;
+    return Status::OK();
+  }
+  std::unique_ptr<RandomAccessFile> f;
+  Status s =
+      env_->NewRandomAccessFile(ValueLogFileName(dbname_, ptr.log_number), &f);
+  if (!s.ok()) return s;
+  std::shared_ptr<RandomAccessFile> shared(f.release());
+  files_[ptr.log_number] = shared;
+  *file = std::move(shared);
+  return Status::OK();
+}
+
+Status ValueLogCache::Get(const ValuePointer& ptr, std::string* value,
+                          std::string* stored_key) {
+  std::shared_ptr<RandomAccessFile> file;
+  Status s = GetFile(ptr, &file);
+  if (!s.ok()) return s;
+
+  std::string buf;
+  buf.resize(ptr.size);
+  Slice record;
+  s = file->Read(ptr.offset, ptr.size, &record, buf.data());
+  if (!s.ok()) return s;
+  if (record.size() != ptr.size) {
+    return Status::Corruption("short value log read");
+  }
+  Slice key, val;
+  s = DecodeValueRecord(record, &key, &val);
+  if (!s.ok()) return s;
+  value->assign(val.data(), val.size());
+  if (stored_key != nullptr) {
+    stored_key->assign(key.data(), key.size());
+  }
+  return Status::OK();
+}
+
+Status ValueLogCache::GetSpan(uint64_t log_number, uint64_t offset,
+                              size_t size, std::string* buffer) {
+  ValuePointer ptr;
+  ptr.log_number = log_number;
+  std::shared_ptr<RandomAccessFile> file;
+  Status s = GetFile(ptr, &file);
+  if (!s.ok()) return s;
+  buffer->resize(size);
+  Slice result;
+  s = file->Read(offset, size, &result, buffer->data());
+  if (!s.ok()) return s;
+  if (result.size() != size) {
+    return Status::Corruption("short value log span read");
+  }
+  if (result.data() != buffer->data()) {
+    buffer->assign(result.data(), result.size());
+  }
+  return Status::OK();
+}
+
+void ValueLogCache::Readahead(const ValuePointer& ptr, size_t bytes) {
+  std::shared_ptr<RandomAccessFile> file;
+  if (GetFile(ptr, &file).ok()) {
+    file->ReadaheadHint(ptr.offset, bytes);
+  }
+}
+
+void ValueLogCache::Evict(uint32_t /*partition*/, uint64_t log_number) {
+  std::lock_guard<std::mutex> l(mu_);
+  files_.erase(log_number);
+}
+
+Status ScanValueLog(
+    Env* env, const std::string& fname,
+    const std::function<void(uint64_t, uint32_t, const Slice&, const Slice&)>&
+        fn) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+
+  uint64_t file_size;
+  s = env->GetFileSize(fname, &file_size);
+  if (!s.ok()) return s;
+
+  std::string contents;
+  contents.resize(file_size);
+  Slice data;
+  s = file->Read(file_size, &data, contents.data());
+  if (!s.ok()) return s;
+
+  uint64_t offset = 0;
+  Slice input = data;
+  while (input.size() > 4) {
+    // Peek the lengths after the crc to find the record extent.
+    Slice peek(input.data() + 4, input.size() - 4);
+    uint32_t key_len, val_len;
+    if (!GetVarint32(&peek, &key_len) || !GetVarint32(&peek, &val_len)) {
+      break;  // Torn tail.
+    }
+    size_t header = 4 + (peek.data() - (input.data() + 4)) + 4;
+    (void)header;
+    size_t record_size =
+        (peek.data() - input.data()) + static_cast<size_t>(key_len) + val_len;
+    if (record_size > input.size()) {
+      break;  // Torn tail.
+    }
+    Slice record(input.data(), record_size);
+    Slice key, value;
+    if (!DecodeValueRecord(record, &key, &value).ok()) {
+      break;  // Corrupt record: stop scanning (crash-truncated tail).
+    }
+    fn(offset, static_cast<uint32_t>(record_size), key, value);
+    input.remove_prefix(record_size);
+    offset += record_size;
+  }
+  return Status::OK();
+}
+
+}  // namespace unikv

@@ -1,0 +1,115 @@
+#ifndef UNIKV_VLOG_VALUE_LOG_H_
+#define UNIKV_VLOG_VALUE_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace unikv {
+
+/// Location of a value stored in an append-only value log after partial KV
+/// separation (paper: <partition, logNumber, offset, length>).
+struct ValuePointer {
+  uint32_t partition = 0;
+  uint64_t log_number = 0;
+  uint64_t offset = 0;
+  uint32_t size = 0;  // Full record length, so one pread fetches it.
+
+  void EncodeTo(std::string* dst) const;
+  bool DecodeFrom(Slice* input);
+
+  bool operator==(const ValuePointer& o) const {
+    return partition == o.partition && log_number == o.log_number &&
+           offset == o.offset && size == o.size;
+  }
+};
+
+/// Appends value records to a log file. Record format:
+///   crc32c(4B, masked, over the rest) key_len(varint) val_len(varint)
+///   key value
+/// The key is stored alongside the value (as in WiscKey) so GC and
+/// recovery can validate records independently of the SortedStore.
+class ValueLogWriter {
+ public:
+  /// Takes ownership of `file`; `log_number` is recorded in the pointers.
+  ValueLogWriter(std::unique_ptr<WritableFile> file, uint32_t partition,
+                 uint64_t log_number);
+
+  ValueLogWriter(const ValueLogWriter&) = delete;
+  ValueLogWriter& operator=(const ValueLogWriter&) = delete;
+
+  /// Appends a record; on success fills *ptr with its location.
+  Status Add(const Slice& key, const Slice& value, ValuePointer* ptr);
+
+  Status Flush() { return file_->Flush(); }
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+  uint64_t CurrentOffset() const { return offset_; }
+  uint64_t log_number() const { return log_number_; }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  uint32_t partition_;
+  uint64_t log_number_;
+  uint64_t offset_ = 0;
+  std::string scratch_;
+};
+
+/// Parses one value-log record out of `record` bytes (as read from a file
+/// at a ValuePointer). Verifies the checksum.
+Status DecodeValueRecord(const Slice& record, Slice* key, Slice* value);
+
+/// Caches open read handles for value log files and serves point fetches
+/// by ValuePointer. Thread-safe.
+class ValueLogCache {
+ public:
+  /// `dir_for_partition(p)` maps a partition id to its directory.
+  ValueLogCache(Env* env, std::string dbname);
+
+  /// Fetches the record at *ptr, verifies it, and stores the value bytes
+  /// in *value (and optionally the stored key for validation).
+  Status Get(const ValuePointer& ptr, std::string* value,
+             std::string* stored_key = nullptr);
+
+  /// Issues a readahead hint on the log for a scan starting at `ptr`.
+  void Readahead(const ValuePointer& ptr, size_t bytes);
+
+  /// Reads the byte span [offset, offset+size) of a log file in one I/O.
+  /// Scans use this to fetch runs of adjacent values (merges and GC write
+  /// values in key order, so consecutive scan pointers usually touch a
+  /// contiguous region). *buffer is resized to hold the span.
+  Status GetSpan(uint64_t log_number, uint64_t offset, size_t size,
+                 std::string* buffer);
+
+  /// Drops the cached handle for a deleted log file.
+  void Evict(uint32_t partition, uint64_t log_number);
+
+ private:
+  Status GetFile(const ValuePointer& ptr,
+                 std::shared_ptr<RandomAccessFile>* file);
+
+  Env* env_;
+  std::string dbname_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<RandomAccessFile>> files_;
+};
+
+/// Sequentially scans a value log file, invoking `fn(offset, record_size,
+/// key, value)` for each valid record; stops at the first corrupt/torn
+/// record (the tail after a crash).
+Status ScanValueLog(
+    Env* env, const std::string& fname,
+    const std::function<void(uint64_t, uint32_t, const Slice&, const Slice&)>&
+        fn);
+
+}  // namespace unikv
+
+#endif  // UNIKV_VLOG_VALUE_LOG_H_

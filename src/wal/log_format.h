@@ -1,0 +1,33 @@
+#ifndef UNIKV_WAL_LOG_FORMAT_H_
+#define UNIKV_WAL_LOG_FORMAT_H_
+
+namespace unikv {
+namespace log {
+
+/// Record-oriented log format (shared by the WAL and the MANIFEST).
+///
+/// A log file is a sequence of 32 KiB blocks. Each block contains a
+/// sequence of records:
+///   record := checksum(4B, crc32c of type+payload, masked)
+///             length(2B little-endian) type(1B) payload
+/// A user record that does not fit in the remainder of a block is split
+/// into FIRST / MIDDLE* / LAST fragments; a block trailer of < 7 bytes is
+/// zero-filled and skipped.
+enum RecordType {
+  kZeroType = 0,  // Reserved for preallocated files.
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+constexpr int kMaxRecordType = kLastType;
+
+constexpr int kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace unikv
+
+#endif  // UNIKV_WAL_LOG_FORMAT_H_

@@ -1,0 +1,64 @@
+#ifndef UNIKV_WAL_LOG_READER_H_
+#define UNIKV_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_format.h"
+
+namespace unikv {
+
+class SequentialFile;
+
+namespace log {
+
+/// Reads records written by log::Writer, verifying checksums and skipping
+/// corrupted regions (reporting them to an optional Reporter).
+class Reader {
+ public:
+  /// Interface for reporting corruption.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    /// Some data was corrupted; `bytes` is the approximate dropped size.
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  /// If checksum is true, verify record checksums. *file must stay live.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+  ~Reader();
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads the next record into *record (may point into *scratch).
+  /// Returns false at EOF.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extend record types with the following special values.
+  enum {
+    kEof = kMaxRecordType + 1,
+    kBadRecord = kMaxRecordType + 2,
+  };
+
+  // Return type, or one of the preceding special values.
+  unsigned int ReadPhysicalRecord(Slice* result);
+
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  bool const checksum_;
+  char* const backing_store_;
+  Slice buffer_;
+  bool eof_;  // Last Read() indicated EOF by returning < kBlockSize.
+};
+
+}  // namespace log
+}  // namespace unikv
+
+#endif  // UNIKV_WAL_LOG_READER_H_

@@ -1,0 +1,46 @@
+#ifndef UNIKV_WAL_LOG_WRITER_H_
+#define UNIKV_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_format.h"
+
+namespace unikv {
+
+class WritableFile;
+
+namespace log {
+
+/// Appends length-prefixed, checksummed records to a WritableFile using the
+/// block/fragment format described in log_format.h.
+class Writer {
+ public:
+  /// Creates a writer that appends to *dest (initially empty). *dest must
+  /// remain live while this Writer is in use.
+  explicit Writer(WritableFile* dest);
+
+  /// Creates a writer appending to *dest with `dest_length` bytes already
+  /// written (for reopening an existing log).
+  Writer(WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // Current offset in block.
+
+  // Precomputed crc32c of the type byte, one per record type.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace unikv
+
+#endif  // UNIKV_WAL_LOG_WRITER_H_

@@ -1,0 +1,98 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+TEST(Arena, Empty) {
+  Arena arena;
+  EXPECT_EQ(0u, arena.MemoryUsage());
+}
+
+TEST(Arena, AllocatedBytesAreUsable) {
+  Arena arena;
+  char* p = arena.Allocate(100);
+  memset(p, 0xab, 100);
+  char* q = arena.Allocate(100);
+  memset(q, 0xcd, 100);
+  // The first allocation must remain intact.
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(static_cast<char>(0xab), p[i]);
+  }
+}
+
+TEST(Arena, ManyRandomAllocations) {
+  std::vector<std::pair<size_t, char*>> allocated;
+  Arena arena;
+  const int N = 100000;
+  size_t bytes = 0;
+  Random rnd(301);
+  for (int i = 0; i < N; i++) {
+    size_t s;
+    if (i % (N / 10) == 0) {
+      s = i;
+    } else {
+      s = rnd.OneIn(4000)
+              ? rnd.Uniform(6000)
+              : (rnd.OneIn(10) ? rnd.Uniform(100) : rnd.Uniform(20));
+    }
+    if (s == 0) {
+      s = 1;  // Disallow size 0 allocations.
+    }
+    char* r;
+    if (rnd.OneIn(10)) {
+      r = arena.AllocateAligned(s);
+    } else {
+      r = arena.Allocate(s);
+    }
+    for (size_t b = 0; b < s; b++) {
+      // Fill with a known pattern.
+      r[b] = i % 256;
+    }
+    bytes += s;
+    allocated.push_back(std::make_pair(s, r));
+    ASSERT_GE(arena.MemoryUsage(), bytes);
+    if (i > N / 10) {
+      ASSERT_LE(arena.MemoryUsage(), bytes * 1.10);
+    }
+  }
+  for (size_t i = 0; i < allocated.size(); i++) {
+    size_t num_bytes = allocated[i].first;
+    const char* p = allocated[i].second;
+    for (size_t b = 0; b < num_bytes; b++) {
+      // Check the "i"th allocation for the known bit pattern.
+      ASSERT_EQ(static_cast<int>(p[b]) & 0xff, static_cast<int>(i % 256));
+    }
+  }
+}
+
+TEST(Arena, AlignedAllocationsAreAligned) {
+  Arena arena;
+  for (int i = 0; i < 100; i++) {
+    arena.Allocate(1);  // Misalign the bump pointer.
+    char* p = arena.AllocateAligned(8);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(p) % 8);
+  }
+}
+
+TEST(Arena, LargeAllocationsGetOwnBlocks) {
+  Arena arena;
+  char* small = arena.Allocate(16);
+  char* big = arena.Allocate(100000);  // Own block.
+  char* small2 = arena.Allocate(16);
+  memset(big, 1, 100000);
+  memset(small, 2, 16);
+  memset(small2, 3, 16);
+  EXPECT_EQ(1, big[50000]);
+  EXPECT_EQ(2, small[0]);
+  EXPECT_EQ(3, small2[0]);
+}
+
+}  // namespace
+}  // namespace unikv

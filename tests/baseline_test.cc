@@ -1,0 +1,228 @@
+// Tests for the baseline engines: the LevelDB-style leveled LSM, the
+// tiered LSM, and the SkimpyStash-style hash-log store. Each is checked
+// against an in-memory model under the same mixed workload.
+
+#include "baseline/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace baseline {
+namespace {
+
+Options SmallOptions() {
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.sorted_table_size = 32 * 1024;
+  opt.max_bytes_for_level_base = 128 * 1024;
+  opt.l0_compaction_trigger = 3;
+  opt.tiered_runs_per_level = 3;
+  return opt;
+}
+
+using OpenFn = Status (*)(const Options&, const std::string&, DB**);
+
+class LsmBaselineTest : public testing::TestWithParam<int> {
+ protected:
+  OpenFn Opener() const {
+    return GetParam() == 0 ? &OpenLeveledDB : &OpenTieredDB;
+  }
+  std::string Name() const {
+    return GetParam() == 0 ? "leveled" : "tiered";
+  }
+};
+
+TEST_P(LsmBaselineTest, PutGetDeleteAcrossCompactions) {
+  Options opt = SmallOptions();
+  std::string dir = test::NewTestDir("baseline_" + Name());
+  DB* raw = nullptr;
+  ASSERT_TRUE(Opener()(opt, dir, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  std::map<std::string, std::string> model;
+  Random rnd(42 + GetParam());
+  for (int i = 0; i < 4000; i++) {
+    std::string key = test::TestKey(rnd.Uniform(600));
+    if (rnd.OneIn(5)) {
+      model.erase(key);
+      ASSERT_TRUE(db->Delete(WriteOptions(), key).ok());
+    } else {
+      std::string value = test::TestValue(i, 64 + rnd.Uniform(128));
+      model[key] = value;
+      ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+    }
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+
+  for (int i = 0; i < 600; i++) {
+    std::string key = test::TestKey(i);
+    std::string value;
+    Status s = db->Get(ReadOptions(), key, &value);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+      EXPECT_EQ(it->second, value) << key;
+    }
+  }
+
+  // Iterator yields exactly the model, in order.
+  std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+  auto mit = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(mit->first, iter->key().ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString());
+  }
+  EXPECT_EQ(mit, model.end());
+  iter.reset();
+
+  // Reopen and spot check durability.
+  db.reset();
+  ASSERT_TRUE(Opener()(opt, dir, &raw).ok());
+  db.reset(raw);
+  for (int i = 0; i < 600; i += 7) {
+    std::string key = test::TestKey(i);
+    std::string value;
+    Status s = db->Get(ReadOptions(), key, &value);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(s.ok()) << key;
+      EXPECT_EQ(it->second, value) << key;
+    }
+  }
+}
+
+TEST_P(LsmBaselineTest, CompactAllConsolidates) {
+  Options opt = SmallOptions();
+  std::string dir = test::NewTestDir("baseline_compactall_" + Name());
+  DB* raw = nullptr;
+  ASSERT_TRUE(Opener()(opt, dir, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), test::TestKey(i), test::TestValue(i)).ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  std::string v;
+  ASSERT_TRUE(db->GetProperty("db.sstables", &v));
+  for (int i = 0; i < 2000; i += 13) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), test::TestKey(i), &value).ok()) << i;
+    EXPECT_EQ(test::TestValue(i), value);
+  }
+}
+
+TEST_P(LsmBaselineTest, StatsExposed) {
+  Options opt = SmallOptions();
+  std::string dir = test::NewTestDir("baseline_stats_" + Name());
+  DB* raw = nullptr;
+  ASSERT_TRUE(Opener()(opt, dir, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), test::TestKey(i), test::TestValue(i)).ok());
+  }
+  std::string v;
+  EXPECT_TRUE(db->GetProperty("db.stats", &v));
+  EXPECT_NE(v.find("compactions="), std::string::npos);
+  EXPECT_TRUE(db->GetProperty("db.num-files", &v));
+  EXPECT_GT(std::stoi(v), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStyles, LsmBaselineTest, testing::Range(0, 2));
+
+TEST(HashLogDbTest, PutGetDelete) {
+  Options opt;
+  std::string dir = test::NewTestDir("hashlog");
+  HashLogConfig config;
+  config.num_buckets = 128;  // Small so chains form.
+  DB* raw = nullptr;
+  ASSERT_TRUE(OpenHashLogDB(opt, config, dir, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  std::map<std::string, std::string> model;
+  Random rnd(7);
+  for (int i = 0; i < 2000; i++) {
+    std::string key = test::TestKey(rnd.Uniform(300));
+    if (rnd.OneIn(6)) {
+      model.erase(key);
+      ASSERT_TRUE(db->Delete(WriteOptions(), key).ok());
+    } else {
+      std::string value = test::TestValue(i);
+      model[key] = value;
+      ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+    }
+  }
+  for (int i = 0; i < 300; i++) {
+    std::string key = test::TestKey(i);
+    std::string value;
+    Status s = db->Get(ReadOptions(), key, &value);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(s.ok()) << key;
+      EXPECT_EQ(it->second, value);
+    }
+  }
+
+  // No ordered scans.
+  std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+  EXPECT_FALSE(iter->status().ok());
+  iter.reset();
+
+  // Recovery rebuilds the directory from the log.
+  ASSERT_TRUE(db->FlushMemTable().ok());
+  db.reset();
+  ASSERT_TRUE(OpenHashLogDB(opt, config, dir, &raw).ok());
+  db.reset(raw);
+  for (int i = 0; i < 300; i += 5) {
+    std::string key = test::TestKey(i);
+    std::string value;
+    Status s = db->Get(ReadOptions(), key, &value);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+      EXPECT_EQ(it->second, value);
+    }
+  }
+}
+
+TEST(HashLogDbTest, ChainHopsGrowWithLoad) {
+  Options opt;
+  std::string dir = test::NewTestDir("hashlog_chains");
+  HashLogConfig config;
+  config.num_buckets = 16;
+  DB* raw = nullptr;
+  ASSERT_TRUE(OpenHashLogDB(opt, config, dir, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 16))
+            .ok());
+  }
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db->Get(ReadOptions(), test::TestKey(i), &value).ok());
+  }
+  std::string stats;
+  ASSERT_TRUE(db->GetProperty("db.stats", &stats));
+  // With 1000 keys over 16 buckets, average chain walk is large.
+  EXPECT_NE(stats.find("chain_hops="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace unikv

@@ -1,0 +1,190 @@
+// Block builder/reader tests: restart-point prefix compression, seeks,
+// reverse iteration, corruption behavior.
+
+#include "table/block.h"
+#include "table/block_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/dbformat.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq = 100,
+                 ValueType type = kTypeValue) {
+  std::string result;
+  AppendInternalKey(&result, ParsedInternalKey(user_key, seq, type));
+  return result;
+}
+
+class BlockTest : public testing::TestWithParam<int> {
+ protected:
+  // Builds a block from the given map (keys get internal-key trailers).
+  std::unique_ptr<Block> Build(const std::map<std::string, std::string>& kvs,
+                               std::string* storage) {
+    BlockBuilder builder(GetParam());
+    for (const auto& [key, value] : kvs) {
+      builder.Add(IKey(key), value);
+    }
+    *storage = builder.Finish().ToString();
+    BlockContents contents;
+    contents.data = Slice(*storage);
+    contents.cachable = false;
+    contents.heap_allocated = false;
+    return std::make_unique<Block>(contents);
+  }
+
+  InternalKeyComparator icmp_;
+};
+
+TEST_P(BlockTest, EmptyBlock) {
+  std::string storage;
+  auto block = Build({}, &storage);
+  std::unique_ptr<Iterator> iter(block->NewIterator(icmp_));
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->SeekToLast();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek(IKey("x"));
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(BlockTest, ForwardIteration) {
+  std::map<std::string, std::string> kvs;
+  Random rnd(17);
+  for (int i = 0; i < 200; i++) {
+    // Shared prefixes stress the delta encoding.
+    std::string key = "prefix/" + std::to_string(1000 + i);
+    kvs[key] = std::string(rnd.Uniform(64), 'v');
+  }
+  std::string storage;
+  auto block = Build(kvs, &storage);
+  std::unique_ptr<Iterator> iter(block->NewIterator(icmp_));
+  auto mit = kvs.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, kvs.end());
+    EXPECT_EQ(mit->first, ExtractUserKey(iter->key()).ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString());
+  }
+  EXPECT_EQ(mit, kvs.end());
+}
+
+TEST_P(BlockTest, ReverseIteration) {
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 100; i++) {
+    kvs["key" + std::to_string(100 + i)] = "value" + std::to_string(i);
+  }
+  std::string storage;
+  auto block = Build(kvs, &storage);
+  std::unique_ptr<Iterator> iter(block->NewIterator(icmp_));
+  auto mit = kvs.rbegin();
+  for (iter->SeekToLast(); iter->Valid(); iter->Prev(), ++mit) {
+    ASSERT_NE(mit, kvs.rend());
+    EXPECT_EQ(mit->first, ExtractUserKey(iter->key()).ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString());
+  }
+  EXPECT_EQ(mit, kvs.rend());
+}
+
+TEST_P(BlockTest, SeekSemantics) {
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 100; i += 2) {  // Even keys only.
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    kvs[buf] = "v";
+  }
+  std::string storage;
+  auto block = Build(kvs, &storage);
+  std::unique_ptr<Iterator> iter(block->NewIterator(icmp_));
+
+  iter->Seek(IKey("k050", kMaxSequenceNumber, kValueTypeForSeek));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k050", ExtractUserKey(iter->key()).ToString());
+
+  // Seeking an absent key lands on the next greater one.
+  iter->Seek(IKey("k051", kMaxSequenceNumber, kValueTypeForSeek));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k052", ExtractUserKey(iter->key()).ToString());
+
+  // Before the first key.
+  iter->Seek(IKey("a", kMaxSequenceNumber, kValueTypeForSeek));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k000", ExtractUserKey(iter->key()).ToString());
+
+  // Past the last key.
+  iter->Seek(IKey("zzz", kMaxSequenceNumber, kValueTypeForSeek));
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(BlockTest, LargeValues) {
+  std::map<std::string, std::string> kvs;
+  kvs["big"] = std::string(100000, 'B');
+  kvs["small"] = "s";
+  std::string storage;
+  auto block = Build(kvs, &storage);
+  std::unique_ptr<Iterator> iter(block->NewIterator(icmp_));
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(100000u, iter->value().size());
+}
+
+TEST_P(BlockTest, MixedPrefixCompression) {
+  // Keys deliberately alternating between shared and unshared prefixes.
+  std::map<std::string, std::string> kvs = {
+      {"", "empty-key"},          {"a", "1"},
+      {"aa", "2"},                {"aaaaaaaaaaaaaaaa", "3"},
+      {"ab", "4"},                {"b", "5"},
+      {std::string(300, 'c'), "6"},
+  };
+  std::string storage;
+  auto block = Build(kvs, &storage);
+  std::unique_ptr<Iterator> iter(block->NewIterator(icmp_));
+  auto mit = kvs.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, kvs.end());
+    EXPECT_EQ(mit->first, ExtractUserKey(iter->key()).ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString());
+  }
+  EXPECT_EQ(mit, kvs.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(RestartIntervals, BlockTest,
+                         testing::Values(1, 2, 16, 128));
+
+TEST(BlockCorruption, GarbageContentsYieldErrorIterator) {
+  std::string garbage = "this is not a block";
+  BlockContents contents;
+  contents.data = Slice(garbage);
+  contents.cachable = false;
+  contents.heap_allocated = false;
+  Block block(contents);
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> iter(block.NewIterator(icmp));
+  iter->SeekToFirst();
+  // Either invalid or error status — never a crash or bogus data.
+  EXPECT_FALSE(iter->Valid() && iter->status().ok() &&
+               iter->key().size() > 1000);
+}
+
+TEST(BlockBuilderProps, SizeEstimateGrows) {
+  BlockBuilder builder(16);
+  size_t prev = builder.CurrentSizeEstimate();
+  for (int i = 0; i < 50; i++) {
+    builder.Add(IKey("key" + std::to_string(1000 + i)), "value");
+    EXPECT_GT(builder.CurrentSizeEstimate(), prev);
+    prev = builder.CurrentSizeEstimate();
+  }
+  size_t final_size = builder.Finish().size();
+  EXPECT_GE(final_size, prev);
+  EXPECT_FALSE(builder.empty());
+  builder.Reset();
+  EXPECT_TRUE(builder.empty());
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,108 @@
+#include "table/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "util/coding.h"
+
+namespace unikv {
+namespace {
+
+std::string NumKey(int i) {
+  char buf[4];
+  EncodeFixed32(buf, i);
+  return std::string(buf, 4);
+}
+
+TEST(Bloom, EmptyFilterMatchesNothing) {
+  BloomFilterBuilder builder(10);
+  std::string filter;
+  builder.Finish(&filter);
+  EXPECT_FALSE(BloomFilterMayMatch("hello", filter));
+  EXPECT_FALSE(BloomFilterMayMatch("world", filter));
+}
+
+TEST(Bloom, Small) {
+  BloomFilterBuilder builder(10);
+  builder.AddKey("hello");
+  builder.AddKey("world");
+  std::string filter;
+  builder.Finish(&filter);
+  EXPECT_TRUE(BloomFilterMayMatch("hello", filter));
+  EXPECT_TRUE(BloomFilterMayMatch("world", filter));
+  EXPECT_FALSE(BloomFilterMayMatch("x", filter));
+  EXPECT_FALSE(BloomFilterMayMatch("foo", filter));
+}
+
+TEST(Bloom, NoFalseNegativesEver) {
+  for (int n : {1, 10, 100, 1000, 10000}) {
+    BloomFilterBuilder builder(10);
+    for (int i = 0; i < n; i++) {
+      builder.AddKey(NumKey(i));
+    }
+    std::string filter;
+    builder.Finish(&filter);
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(BloomFilterMayMatch(NumKey(i), filter))
+          << "false negative for " << i << " at n=" << n;
+    }
+  }
+}
+
+TEST(Bloom, FalsePositiveRateIsReasonable) {
+  // With 10 bits/key the FP rate should be around 1%; assert < 3%.
+  const int n = 10000;
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < n; i++) {
+    builder.AddKey(NumKey(i));
+  }
+  std::string filter;
+  builder.Finish(&filter);
+  int false_positives = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (BloomFilterMayMatch(NumKey(i + 1000000000), filter)) {
+      false_positives++;
+    }
+  }
+  double rate = false_positives / 10000.0;
+  EXPECT_LT(rate, 0.03) << "fp rate " << rate;
+}
+
+TEST(Bloom, FewerBitsMeansMoreFalsePositives) {
+  const int n = 5000;
+  auto fp_rate = [n](int bits_per_key) {
+    BloomFilterBuilder builder(bits_per_key);
+    for (int i = 0; i < n; i++) builder.AddKey(NumKey(i));
+    std::string filter;
+    builder.Finish(&filter);
+    int fp = 0;
+    for (int i = 0; i < 5000; i++) {
+      if (BloomFilterMayMatch(NumKey(i + 1000000000), filter)) fp++;
+    }
+    return fp / 5000.0;
+  };
+  EXPECT_GT(fp_rate(2), fp_rate(12));
+}
+
+TEST(Bloom, FilterSizeScalesWithKeysAndBits) {
+  for (int bits : {4, 10, 16}) {
+    BloomFilterBuilder builder(bits);
+    for (int i = 0; i < 1000; i++) builder.AddKey(NumKey(i));
+    std::string filter;
+    builder.Finish(&filter);
+    // bits/8 bytes per key plus the k byte, rounded up.
+    EXPECT_GE(filter.size(), 1000u * bits / 8);
+    EXPECT_LE(filter.size(), 1000u * bits / 8 + 16);
+  }
+}
+
+TEST(Bloom, GarbageFilterIsSafe) {
+  EXPECT_FALSE(BloomFilterMayMatch("key", Slice("")));
+  EXPECT_FALSE(BloomFilterMayMatch("key", Slice("x")));
+  // A filter claiming an absurd k is treated as match-all (safe).
+  std::string weird(100, '\0');
+  weird.back() = static_cast<char>(40);
+  EXPECT_TRUE(BloomFilterMayMatch("key", weird));
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,173 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace unikv {
+namespace {
+
+TEST(Coding, Fixed32) {
+  std::string s;
+  for (uint32_t v = 0; v < 100000; v += 997) {
+    PutFixed32(&s, v);
+  }
+  const char* p = s.data();
+  for (uint32_t v = 0; v < 100000; v += 997) {
+    EXPECT_EQ(v, DecodeFixed32(p));
+    p += sizeof(uint32_t);
+  }
+}
+
+TEST(Coding, Fixed64) {
+  std::string s;
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = static_cast<uint64_t>(1) << power;
+    PutFixed64(&s, v - 1);
+    PutFixed64(&s, v);
+    PutFixed64(&s, v + 1);
+  }
+  const char* p = s.data();
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = static_cast<uint64_t>(1) << power;
+    EXPECT_EQ(v - 1, DecodeFixed64(p));
+    p += 8;
+    EXPECT_EQ(v, DecodeFixed64(p));
+    p += 8;
+    EXPECT_EQ(v + 1, DecodeFixed64(p));
+    p += 8;
+  }
+}
+
+TEST(Coding, EncodingIsLittleEndian) {
+  std::string dst;
+  PutFixed32(&dst, 0x04030201);
+  EXPECT_EQ(0x01, static_cast<int>(dst[0]));
+  EXPECT_EQ(0x02, static_cast<int>(dst[1]));
+  EXPECT_EQ(0x03, static_cast<int>(dst[2]));
+  EXPECT_EQ(0x04, static_cast<int>(dst[3]));
+}
+
+TEST(Coding, Varint32) {
+  std::string s;
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t v = (i / 32) << (i % 32);
+    PutVarint32(&s, v);
+  }
+  const char* p = s.data();
+  const char* limit = p + s.size();
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t expected = (i / 32) << (i % 32);
+    uint32_t actual;
+    p = GetVarint32Ptr(p, limit, &actual);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(Coding, Varint64) {
+  std::vector<uint64_t> values = {0, 100, ~static_cast<uint64_t>(0),
+                                  ~static_cast<uint64_t>(0) - 1};
+  for (uint32_t k = 0; k < 64; k++) {
+    const uint64_t power = 1ull << k;
+    values.push_back(power);
+    values.push_back(power - 1);
+    values.push_back(power + 1);
+  }
+  std::string s;
+  for (uint64_t v : values) {
+    PutVarint64(&s, v);
+  }
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t actual;
+    ASSERT_TRUE(GetVarint64(&input, &actual));
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, Varint32Overflow) {
+  uint32_t result;
+  std::string input("\x81\x82\x83\x84\x85\x11");
+  EXPECT_EQ(GetVarint32Ptr(input.data(), input.data() + input.size(),
+                           &result),
+            nullptr);
+}
+
+TEST(Coding, Varint32Truncation) {
+  uint32_t large_value = (1u << 31) + 100;
+  std::string s;
+  PutVarint32(&s, large_value);
+  uint32_t result;
+  for (size_t len = 0; len < s.size() - 1; len++) {
+    EXPECT_EQ(GetVarint32Ptr(s.data(), s.data() + len, &result), nullptr);
+  }
+  EXPECT_NE(GetVarint32Ptr(s.data(), s.data() + s.size(), &result), nullptr);
+  EXPECT_EQ(large_value, result);
+}
+
+TEST(Coding, Varint64Truncation) {
+  uint64_t large_value = (1ull << 63) + 100ull;
+  std::string s;
+  PutVarint64(&s, large_value);
+  uint64_t result;
+  for (size_t len = 0; len < s.size() - 1; len++) {
+    EXPECT_EQ(GetVarint64Ptr(s.data(), s.data() + len, &result), nullptr);
+  }
+  EXPECT_NE(GetVarint64Ptr(s.data(), s.data() + s.size(), &result), nullptr);
+  EXPECT_EQ(large_value, result);
+}
+
+TEST(Coding, LengthPrefixedSlice) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice("foo"));
+  PutLengthPrefixedSlice(&s, Slice("bar"));
+  PutLengthPrefixedSlice(&s, Slice(std::string(200, 'x')));
+
+  Slice input(s);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("foo", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("bar", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(std::string(200, 'x'), v.ToString());
+  EXPECT_TRUE(input.empty());
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &v));
+}
+
+TEST(Coding, LengthPrefixedSliceUnderflow) {
+  std::string s;
+  PutVarint32(&s, 100);  // Claims 100 bytes follow...
+  s.append("short");     // ...but only 5 do.
+  Slice input(s);
+  Slice v;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &v));
+}
+
+TEST(Coding, VarintLength) {
+  EXPECT_EQ(1, VarintLength(0));
+  EXPECT_EQ(1, VarintLength(127));
+  EXPECT_EQ(2, VarintLength(128));
+  EXPECT_EQ(5, VarintLength(0xFFFFFFFFull));
+  EXPECT_EQ(10, VarintLength(~0ull));
+}
+
+class VarintWidthTest : public testing::TestWithParam<int> {};
+
+TEST_P(VarintWidthTest, EncodedLengthMatchesVarintLength) {
+  uint64_t v = (GetParam() == 0) ? 0 : (1ull << (GetParam() - 1));
+  std::string s;
+  PutVarint64(&s, v);
+  EXPECT_EQ(VarintLength(v), static_cast<int>(s.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, VarintWidthTest, testing::Range(0, 64));
+
+}  // namespace
+}  // namespace unikv

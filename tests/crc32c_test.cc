@@ -1,0 +1,76 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace unikv {
+namespace crc32c {
+namespace {
+
+TEST(Crc32c, StandardVectors) {
+  // From RFC 3720 (iSCSI) / the CRC-32C test vectors used by LevelDB.
+  char buf[32];
+
+  memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(0x8a9136aa, Value(buf, sizeof(buf)));
+
+  memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(0x62a8ab43, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; i++) {
+    buf[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(0x46dd794e, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; i++) {
+    buf[i] = static_cast<char>(31 - i);
+  }
+  EXPECT_EQ(0x113fdb5c, Value(buf, sizeof(buf)));
+
+  uint8_t data[48] = {
+      0x01, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00,
+      0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x18, 0x28, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  EXPECT_EQ(0xd9963a56, Value(reinterpret_cast<char*>(data), sizeof(data)));
+}
+
+TEST(Crc32c, Values) {
+  EXPECT_NE(Value("a", 1), Value("foo", 3));
+}
+
+TEST(Crc32c, Extend) {
+  EXPECT_EQ(Value("hello world", 11), Extend(Value("hello ", 6), "world", 5));
+}
+
+TEST(Crc32c, ExtendInArbitraryChunks) {
+  std::string data(1000, '\0');
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<char>(i * 37);
+  }
+  uint32_t whole = Value(data.data(), data.size());
+  for (size_t split : {1ul, 7ul, 64ul, 999ul}) {
+    uint32_t crc = Value(data.data(), split);
+    crc = Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(whole, crc) << split;
+  }
+}
+
+TEST(Crc32c, Mask) {
+  uint32_t crc = Value("foo", 3);
+  EXPECT_NE(crc, Mask(crc));
+  EXPECT_NE(crc, Mask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Unmask(Mask(Mask(crc)))));
+}
+
+TEST(Crc32c, EmptyInput) {
+  EXPECT_EQ(0u, Value("", 0));
+  EXPECT_EQ(Value("x", 1), Extend(Value("", 0), "x", 1));
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace unikv

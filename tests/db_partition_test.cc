@@ -1,0 +1,179 @@
+// Dynamic range partitioning tests: splits happen under load, routing
+// stays correct across splits, iterators span partitions, and lazy value
+// splitting via GC completes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/db.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+Options SplittyOptions() {
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 128 * 1024;
+  opt.partition_size_limit = 512 * 1024;  // Splits after ~0.5 MiB.
+  opt.sorted_table_size = 32 * 1024;
+  opt.gc_garbage_threshold = 256 * 1024;
+  return opt;
+}
+
+int NumPartitions(DB* db) {
+  std::string v;
+  EXPECT_TRUE(db->GetProperty("db.num-partitions", &v));
+  return std::stoi(v);
+}
+
+class DbPartitionTest : public testing::Test {
+ protected:
+  void Open(const Options& opt, const std::string& name) {
+    opt_ = opt;
+    dir_ = test::NewTestDir(name);
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(opt, dir_, &raw).ok());
+    db_.reset(raw);
+  }
+  void Reopen() {
+    db_.reset();
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(opt_, dir_, &raw).ok());
+    db_.reset(raw);
+  }
+
+  Options opt_;
+  std::string dir_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbPartitionTest, SplitsHappenAndDataSurvives) {
+  Open(SplittyOptions(), "part_split");
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 4000; i++) {
+    std::string key = test::TestKey(i);
+    std::string value = test::TestValue(i, 512);
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    model[key] = value;
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_GT(NumPartitions(db_.get()), 1) << "expected at least one split";
+
+  // Every key still readable (routing by boundary keys works).
+  for (int i = 0; i < 4000; i += 17) {
+    std::string key = test::TestKey(i);
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
+    EXPECT_EQ(model[key], value);
+  }
+}
+
+TEST_F(DbPartitionTest, IteratorSpansPartitions) {
+  Open(SplittyOptions(), "part_iter");
+  std::map<std::string, std::string> model;
+  Random rnd(3);
+  for (int i = 0; i < 4000; i++) {
+    int id = rnd.Uniform(5000);
+    std::string key = test::TestKey(id);
+    std::string value = test::TestValue(id, 400);
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    model[key] = value;
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  ASSERT_GT(NumPartitions(db_.get()), 1);
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  auto mit = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(mit->first, iter->key().ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString());
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+TEST_F(DbPartitionTest, WritesContinueAcrossSplitBoundaries) {
+  Open(SplittyOptions(), "part_writes");
+  // Load enough for splits, then write into both halves again.
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 512))
+            .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  int parts = NumPartitions(db_.get());
+  ASSERT_GT(parts, 1);
+
+  for (int i = 0; i < 3000; i += 3) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i), "rewritten").ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  for (int i = 0; i < 3000; i++) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(i), &value).ok());
+    if (i % 3 == 0) {
+      EXPECT_EQ("rewritten", value) << i;
+    } else {
+      EXPECT_EQ(test::TestValue(i, 512), value) << i;
+    }
+  }
+}
+
+TEST_F(DbPartitionTest, PartitionsSurviveReopen) {
+  Open(SplittyOptions(), "part_reopen");
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 512))
+            .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  int parts_before = NumPartitions(db_.get());
+  ASSERT_GT(parts_before, 1);
+
+  Reopen();
+  EXPECT_EQ(parts_before, NumPartitions(db_.get()));
+  for (int i = 0; i < 4000; i += 23) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(i), &value).ok()) << i;
+    EXPECT_EQ(test::TestValue(i, 512), value);
+  }
+}
+
+TEST_F(DbPartitionTest, NoPartitioningAblationNeverSplits) {
+  Options opt = SplittyOptions();
+  opt.enable_partitioning = false;
+  Open(opt, "part_off");
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 512))
+            .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_EQ(1, NumPartitions(db_.get()));
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(100), &value).ok());
+}
+
+TEST_F(DbPartitionTest, SplitCountGrowsWithData) {
+  Open(SplittyOptions(), "part_growth");
+  int last_parts = 1;
+  for (int wave = 1; wave <= 3; wave++) {
+    for (int i = (wave - 1) * 2000; i < wave * 2000; i++) {
+      ASSERT_TRUE(
+          db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 512))
+              .ok());
+    }
+    ASSERT_TRUE(db_->CompactAll().ok());
+    int parts = NumPartitions(db_.get());
+    EXPECT_GE(parts, last_parts);
+    last_parts = parts;
+  }
+  EXPECT_GT(last_parts, 2);
+}
+
+}  // namespace
+}  // namespace unikv

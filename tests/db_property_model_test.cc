@@ -1,0 +1,175 @@
+// Property-based testing: long randomized operation sequences
+// (put/delete/flush/compact/scan/reopen) validated against an in-memory
+// model, swept across seeds x engine configurations. Tiny limits force
+// many flush/merge/GC/split cycles per run.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "baseline/baselines.h"
+#include "core/db.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+struct Config {
+  const char* name;
+  int engine;  // 0=UniKV, 1=Leveled, 2=Tiered.
+  bool hash_index = true;
+  bool kv_separation = true;
+  bool partitioning = true;
+};
+
+const Config kConfigs[] = {
+    {"unikv", 0},
+    {"unikv_nohash", 0, false, true, true},
+    {"unikv_nosep", 0, true, false, true},
+    {"unikv_nopart", 0, true, true, false},
+    {"leveled", 1},
+    {"tiered", 2},
+};
+
+class ModelTest
+    : public testing::TestWithParam<std::tuple<int, int>> {  // (config, seed)
+ protected:
+  const Config& Cfg() const { return kConfigs[std::get<0>(GetParam())]; }
+  uint32_t Seed() const { return 1000 + std::get<1>(GetParam()); }
+
+  Options MakeOptions() const {
+    Options opt;
+    opt.write_buffer_size = 16 * 1024;
+    opt.unsorted_limit = 48 * 1024;
+    opt.partition_size_limit = 192 * 1024;
+    opt.sorted_table_size = 16 * 1024;
+    opt.gc_garbage_threshold = 32 * 1024;
+    opt.scan_merge_limit = 3;
+    opt.max_bytes_for_level_base = 64 * 1024;
+    opt.l0_compaction_trigger = 3;
+    opt.tiered_runs_per_level = 3;
+    opt.enable_hash_index = Cfg().hash_index;
+    opt.enable_kv_separation = Cfg().kv_separation;
+    opt.enable_partitioning = Cfg().partitioning;
+    return opt;
+  }
+
+  void Open() {
+    DB* raw = nullptr;
+    Options opt = MakeOptions();
+    switch (Cfg().engine) {
+      case 0:
+        ASSERT_TRUE(DB::Open(opt, dir_, &raw).ok());
+        break;
+      case 1:
+        ASSERT_TRUE(baseline::OpenLeveledDB(opt, dir_, &raw).ok());
+        break;
+      case 2:
+        ASSERT_TRUE(baseline::OpenTieredDB(opt, dir_, &raw).ok());
+        break;
+    }
+    db_.reset(raw);
+  }
+
+  std::string dir_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(ModelTest, RandomOpsMatchModel) {
+  dir_ = test::NewTestDir(std::string("model_") + Cfg().name + "_" +
+                          std::to_string(Seed()));
+  Open();
+
+  std::map<std::string, std::string> model;
+  Random rnd(Seed());
+  const int kKeySpace = 200;
+  const int kOps = 2500;
+
+  for (int op = 0; op < kOps; op++) {
+    int dice = rnd.Uniform(100);
+    if (dice < 55) {
+      // Put with variable value sizes (exercises blocks + vlog).
+      std::string key = test::TestKey(rnd.Uniform(kKeySpace));
+      size_t len = rnd.OneIn(20) ? 2048 + rnd.Uniform(4096)
+                                 : 16 + rnd.Uniform(256);
+      std::string value = test::TestValue(op, len);
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+      model[key] = value;
+    } else if (dice < 70) {
+      std::string key = test::TestKey(rnd.Uniform(kKeySpace));
+      ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+      model.erase(key);
+    } else if (dice < 85) {
+      // Point read.
+      std::string key = test::TestKey(rnd.Uniform(kKeySpace));
+      std::string value;
+      Status s = db_->Get(ReadOptions(), key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << key << " op " << op;
+      } else {
+        ASSERT_TRUE(s.ok()) << key << " op " << op << " " << s.ToString();
+        ASSERT_EQ(it->second, value) << key << " op " << op;
+      }
+    } else if (dice < 93) {
+      // Short scan.
+      std::string start = test::TestKey(rnd.Uniform(kKeySpace));
+      int count = 1 + rnd.Uniform(20);
+      std::vector<std::pair<std::string, std::string>> out;
+      ASSERT_TRUE(db_->Scan(ReadOptions(), start, count, &out).ok());
+      auto it = model.lower_bound(start);
+      for (size_t i = 0; i < out.size(); i++, ++it) {
+        ASSERT_NE(it, model.end()) << "scan overshot at op " << op;
+        ASSERT_EQ(it->first, out[i].first) << "op " << op;
+        ASSERT_EQ(it->second, out[i].second) << "op " << op;
+      }
+      ASSERT_TRUE(out.size() == static_cast<size_t>(count) ||
+                  it == model.end());
+    } else if (dice < 97) {
+      ASSERT_TRUE(db_->FlushMemTable().ok());
+    } else {
+      ASSERT_TRUE(db_->CompactAll().ok());
+    }
+  }
+
+  // Final sweep: full iterator vs model.
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  auto mit = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    ASSERT_EQ(mit->first, iter->key().ToString());
+    ASSERT_EQ(mit->second, iter->value().ToString());
+  }
+  ASSERT_EQ(mit, model.end());
+  iter.reset();
+
+  // Reopen and recheck a sample.
+  db_.reset();
+  Open();
+  Random probe(Seed() * 3);
+  for (int i = 0; i < 100; i++) {
+    std::string key = test::TestKey(probe.Uniform(kKeySpace));
+    std::string value;
+    Status s = db_->Get(ReadOptions(), key, &value);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      ASSERT_TRUE(s.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+      ASSERT_EQ(it->second, value) << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigsBySeeds, ModelTest,
+    testing::Combine(testing::Range(0, 6), testing::Range(0, 3)),
+    [](const testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(kConfigs[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace unikv

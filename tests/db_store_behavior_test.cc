@@ -1,0 +1,236 @@
+// White-box behavioral tests of the UniKV store machinery: size-based
+// scan merges, partial KV separation thresholds, hash-index maintenance
+// across merge epochs, and background-error surfacing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/db.h"
+#include "core/filename.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+int CountFiles(const std::string& dir, FileType want) {
+  std::vector<std::string> children;
+  Env::Default()->GetChildren(dir, &children);
+  int n = 0;
+  for (const std::string& child : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(child, &number, &type) && type == want) n++;
+  }
+  return n;
+}
+
+class DbStoreBehaviorTest : public testing::Test {
+ protected:
+  void Open(const Options& opt, const std::string& name) {
+    dir_ = test::NewTestDir(name);
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(opt, dir_, &raw).ok());
+    db_.reset(raw);
+  }
+
+  std::string Sstables() {
+    std::string v;
+    db_->GetProperty("db.sstables", &v);
+    return v;
+  }
+
+  std::string dir_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbStoreBehaviorTest, SizeBasedScanMergeConsolidatesUnsorted) {
+  Options opt;
+  opt.write_buffer_size = 16 * 1024;
+  opt.unsorted_limit = 8 * 1024 * 1024;  // Never a regular merge.
+  opt.scan_merge_limit = 4;              // Consolidate at 4 tables.
+  Open(opt, "behavior_scanmerge");
+
+  // Each wave of ~40KiB forces a flush; after 4+ flushes the background
+  // scan merge must fold the tables into one.
+  for (int wave = 0; wave < 6; wave++) {
+    for (int i = 0; i < 40; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(wave * 1000 + i),
+                           test::TestValue(i, 1024))
+                      .ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable().ok());
+  }
+  // Allow the background thread to finish consolidation.
+  std::string stats;
+  for (int tries = 0; tries < 100; tries++) {
+    db_->GetProperty("db.stats", &stats);
+    if (stats.find("scan_merges=0") == std::string::npos) break;
+    Env::Default()->SleepForMicroseconds(10000);
+  }
+  EXPECT_EQ(stats.find("scan_merges=0 "), std::string::npos)
+      << "no scan merge happened: " << stats << Sstables();
+
+  // Data intact afterwards (index was rebuilt for the merged table).
+  for (int wave = 0; wave < 6; wave++) {
+    for (int i = 0; i < 40; i += 7) {
+      std::string value;
+      ASSERT_TRUE(db_->Get(ReadOptions(),
+                           test::TestKey(wave * 1000 + i), &value)
+                      .ok())
+          << wave << "/" << i;
+      EXPECT_EQ(test::TestValue(i, 1024), value);
+    }
+  }
+}
+
+TEST_F(DbStoreBehaviorTest, ScanMergeKeepsNewestVersionAndTombstones) {
+  Options opt;
+  opt.write_buffer_size = 16 * 1024;
+  opt.unsorted_limit = 8 * 1024 * 1024;
+  opt.scan_merge_limit = 3;
+  Open(opt, "behavior_scanmerge2");
+
+  // Wave 1: put keys; wave 2: overwrite some; wave 3: delete some.
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i),
+                         test::TestValue(i, 1024)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  for (int i = 0; i < 30; i += 2) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i), "v2").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  for (int i = 0; i < 30; i += 3) {
+    ASSERT_TRUE(db_->Delete(WriteOptions(), test::TestKey(i)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  // Wait for the scan merge.
+  std::string stats;
+  for (int tries = 0; tries < 100; tries++) {
+    db_->GetProperty("db.stats", &stats);
+    if (stats.find("scan_merges=0") == std::string::npos) break;
+    Env::Default()->SleepForMicroseconds(10000);
+  }
+
+  for (int i = 0; i < 30; i++) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), test::TestKey(i), &value);
+    if (i % 3 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << i;
+    } else if (i % 2 == 0) {
+      ASSERT_TRUE(s.ok()) << i;
+      EXPECT_EQ("v2", value);
+    } else {
+      ASSERT_TRUE(s.ok()) << i;
+      EXPECT_EQ(test::TestValue(i, 1024), value);
+    }
+  }
+}
+
+TEST_F(DbStoreBehaviorTest, SmallValuesStayInline) {
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 64 * 1024;
+  opt.value_separation_threshold = 128;
+  Open(opt, "behavior_inline");
+
+  // All values below the threshold: after merging, no value log should
+  // exist (differentiated small-KV management).
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 64))
+            .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_EQ(0, CountFiles(dir_, FileType::kValueLogFile)) << Sstables();
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(42), &value).ok());
+  EXPECT_EQ(test::TestValue(42, 64), value);
+
+  // Mixed sizes: large values go to the log, small stay inline, and both
+  // read back correctly (incl. through scans).
+  for (int i = 2000; i < 2200; i++) {
+    size_t len = (i % 2 == 0) ? 32 : 2048;
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, len))
+            .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_GT(CountFiles(dir_, FileType::kValueLogFile), 0);
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(db_->Scan(ReadOptions(), test::TestKey(2000), 200, &rows).ok());
+  ASSERT_EQ(200u, rows.size());
+  for (int i = 0; i < 200; i++) {
+    size_t len = ((2000 + i) % 2 == 0) ? 32 : 2048;
+    EXPECT_EQ(test::TestValue(2000 + i, len), rows[i].second) << i;
+  }
+}
+
+TEST_F(DbStoreBehaviorTest, HashIndexClearedAfterMergeStillServesReads) {
+  Options opt;
+  opt.write_buffer_size = 16 * 1024;
+  opt.unsorted_limit = 64 * 1024;
+  Open(opt, "behavior_index_epochs");
+
+  std::string entries_before, entries_after;
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i),
+                         test::TestValue(i, 256))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  db_->GetProperty("db.hash-index-entries", &entries_before);
+  EXPECT_GT(std::stoll(entries_before), 0);
+
+  ASSERT_TRUE(db_->CompactAll().ok());  // Merge clears the index.
+  db_->GetProperty("db.hash-index-entries", &entries_after);
+  EXPECT_EQ(0, std::stoll(entries_after));
+
+  // Reads now come from the SortedStore path.
+  for (int i = 0; i < 500; i += 11) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(i), &value).ok()) << i;
+    EXPECT_EQ(test::TestValue(i, 256), value);
+  }
+
+  // A new epoch repopulates the index.
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i), "epoch2").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  db_->GetProperty("db.hash-index-entries", &entries_after);
+  EXPECT_GT(std::stoll(entries_after), 0);
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(5), &value).ok());
+  EXPECT_EQ("epoch2", value);
+}
+
+TEST_F(DbStoreBehaviorTest, NegativeLookupsTouchAtMostOneSortedTable) {
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 64 * 1024;
+  Open(opt, "behavior_negative");
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i * 2),
+                         test::TestValue(i, 256))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  // Absent keys inside the range: NotFound, never a false value.
+  for (int i = 0; i < 1000; i += 13) {
+    std::string value;
+    EXPECT_TRUE(db_->Get(ReadOptions(), test::TestKey(i * 2 + 1), &value)
+                    .IsNotFound())
+        << i;
+  }
+  // Absent keys outside the range.
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "zzzz", &value).IsNotFound());
+  EXPECT_TRUE(db_->Get(ReadOptions(), "", &value).IsNotFound());
+}
+
+}  // namespace
+}  // namespace unikv

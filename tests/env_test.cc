@@ -1,0 +1,193 @@
+// Tests for the Env abstraction: POSIX, in-memory (with crash
+// simulation), and the instrumented wrapper used for I/O accounting.
+
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.h"
+
+namespace unikv {
+namespace {
+
+class EnvKindTest : public testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == 0) {
+      env_ = Env::Default();
+      dir_ = test::NewTestDir("env_posix");
+    } else {
+      mem_env_.reset(NewMemEnv());
+      env_ = mem_env_.get();
+      dir_ = "/mem";
+      env_->CreateDir(dir_);
+    }
+  }
+
+  std::unique_ptr<MemEnv> mem_env_;
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_P(EnvKindTest, WriteThenReadSequential) {
+  const std::string fname = dir_ + "/f";
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_->NewWritableFile(fname, &w).ok());
+  ASSERT_TRUE(w->Append("hello ").ok());
+  ASSERT_TRUE(w->Append("world").ok());
+  ASSERT_TRUE(w->Sync().ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize(fname, &size).ok());
+  EXPECT_EQ(11u, size);
+
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TRUE(env_->NewSequentialFile(fname, &r).ok());
+  char scratch[64];
+  Slice result;
+  ASSERT_TRUE(r->Read(5, &result, scratch).ok());
+  EXPECT_EQ("hello", result.ToString());
+  ASSERT_TRUE(r->Skip(1).ok());
+  ASSERT_TRUE(r->Read(64, &result, scratch).ok());
+  EXPECT_EQ("world", result.ToString());
+  ASSERT_TRUE(r->Read(64, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());  // EOF.
+}
+
+TEST_P(EnvKindTest, RandomAccessRead) {
+  const std::string fname = dir_ + "/ra";
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_->NewWritableFile(fname, &w).ok());
+  ASSERT_TRUE(w->Append("0123456789").ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env_->NewRandomAccessFile(fname, &r).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(r->Read(3, 4, &result, scratch).ok());
+  EXPECT_EQ("3456", result.ToString());
+  ASSERT_TRUE(r->Read(8, 10, &result, scratch).ok());
+  EXPECT_EQ("89", result.ToString());  // Truncated at EOF.
+  r->ReadaheadHint(0, 10);             // Must not crash.
+}
+
+TEST_P(EnvKindTest, AppendableFile) {
+  const std::string fname = dir_ + "/app";
+  {
+    std::unique_ptr<WritableFile> w;
+    ASSERT_TRUE(env_->NewAppendableFile(fname, &w).ok());
+    ASSERT_TRUE(w->Append("abc").ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  {
+    std::unique_ptr<WritableFile> w;
+    ASSERT_TRUE(env_->NewAppendableFile(fname, &w).ok());
+    ASSERT_TRUE(w->Append("def").ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize(fname, &size).ok());
+  EXPECT_EQ(6u, size);
+}
+
+TEST_P(EnvKindTest, FileOps) {
+  const std::string a = dir_ + "/a", b = dir_ + "/b";
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_->NewWritableFile(a, &w).ok());
+  w->Append("x");
+  w->Close();
+  EXPECT_TRUE(env_->FileExists(a));
+  EXPECT_FALSE(env_->FileExists(b));
+  ASSERT_TRUE(env_->RenameFile(a, b).ok());
+  EXPECT_FALSE(env_->FileExists(a));
+  EXPECT_TRUE(env_->FileExists(b));
+
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  EXPECT_NE(std::find(children.begin(), children.end(), "b"),
+            children.end());
+
+  ASSERT_TRUE(env_->RemoveFile(b).ok());
+  EXPECT_FALSE(env_->FileExists(b));
+  EXPECT_FALSE(env_->RemoveFile(b).ok());  // Already gone.
+}
+
+TEST_P(EnvKindTest, MissingFileErrors) {
+  std::unique_ptr<SequentialFile> r;
+  EXPECT_FALSE(env_->NewSequentialFile(dir_ + "/missing", &r).ok());
+  std::unique_ptr<RandomAccessFile> ra;
+  EXPECT_FALSE(env_->NewRandomAccessFile(dir_ + "/missing", &ra).ok());
+  uint64_t size;
+  EXPECT_FALSE(env_->GetFileSize(dir_ + "/missing", &size).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(PosixAndMem, EnvKindTest, testing::Range(0, 2));
+
+TEST(MemEnv, DropUnsyncedDataSimulatesPowerLoss) {
+  std::unique_ptr<MemEnv> env(NewMemEnv());
+  env->CreateDir("/db");
+
+  // File A: partially synced.
+  std::unique_ptr<WritableFile> a;
+  ASSERT_TRUE(env->NewWritableFile("/db/a", &a).ok());
+  a->Append("durable");
+  ASSERT_TRUE(a->Sync().ok());
+  a->Append("-volatile");
+
+  // File B: never synced.
+  std::unique_ptr<WritableFile> b;
+  ASSERT_TRUE(env->NewWritableFile("/db/b", &b).ok());
+  b->Append("gone");
+
+  env->DropUnsyncedData();
+
+  uint64_t size;
+  ASSERT_TRUE(env->GetFileSize("/db/a", &size).ok());
+  EXPECT_EQ(7u, size);  // Only "durable" survived.
+  EXPECT_FALSE(env->FileExists("/db/b"));
+}
+
+TEST(InstrumentedEnv, CountsBytes) {
+  std::unique_ptr<MemEnv> base(NewMemEnv());
+  InstrumentedEnv env(base.get());
+  env.CreateDir("/d");
+
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/d/f", &w).ok());
+  w->Append("0123456789");
+  w->Sync();
+  w->Close();
+  EXPECT_EQ(10u, env.stats()->bytes_written.load());
+  EXPECT_EQ(1u, env.stats()->syncs.load());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/d/f", &r).ok());
+  char scratch[16];
+  Slice result;
+  r->Read(0, 4, &result, scratch);
+  EXPECT_EQ(4u, env.stats()->bytes_read.load());
+
+  env.stats()->Reset();
+  EXPECT_EQ(0u, env.stats()->bytes_written.load());
+}
+
+TEST(EnvUtil, RemoveDirRecursively) {
+  std::unique_ptr<MemEnv> env(NewMemEnv());
+  env->CreateDir("/top");
+  env->CreateDir("/top/sub");
+  std::unique_ptr<WritableFile> w;
+  env->NewWritableFile("/top/f1", &w);
+  w->Close();
+  env->NewWritableFile("/top/sub/f2", &w);
+  w->Close();
+  ASSERT_TRUE(RemoveDirRecursively(env.get(), "/top").ok());
+  EXPECT_FALSE(env->FileExists("/top/f1"));
+  EXPECT_FALSE(env->FileExists("/top/sub/f2"));
+}
+
+}  // namespace
+}  // namespace unikv

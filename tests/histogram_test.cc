@@ -1,0 +1,111 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+TEST(Histogram, EmptyStats) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Average());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(1u, h.Count());
+  EXPECT_DOUBLE_EQ(42.0, h.Average());
+  EXPECT_EQ(42.0, h.Min());
+  EXPECT_EQ(42.0, h.Max());
+  EXPECT_LE(h.Percentile(50), 42.0 + 5.0);
+}
+
+TEST(Histogram, UniformValuesPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 10000; i++) {
+    h.Add(i);
+  }
+  EXPECT_EQ(10000u, h.Count());
+  EXPECT_NEAR(5000.0, h.Average(), 10.0);
+  // Bucketed percentiles are approximate; allow 10% slop.
+  EXPECT_NEAR(5000.0, h.Percentile(50), 600.0);
+  EXPECT_NEAR(9900.0, h.Percentile(99), 1000.0);
+  EXPECT_EQ(1.0, h.Min());
+  EXPECT_EQ(10000.0, h.Max());
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  for (int i = 0; i < 100; i++) a.Add(10);
+  for (int i = 0; i < 100; i++) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(200u, a.Count());
+  EXPECT_NEAR(505.0, a.Average(), 1.0);
+  EXPECT_EQ(10.0, a.Min());
+  EXPECT_EQ(1000.0, a.Max());
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(0u, h.Count());
+  h.Add(7);
+  EXPECT_EQ(7.0, h.Max());
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Add(1e12);
+  h.Add(1);
+  EXPECT_EQ(2u, h.Count());
+  EXPECT_EQ(1e12, h.Max());
+  EXPECT_GE(h.Percentile(99), 1.0);
+}
+
+TEST(Histogram, ToStringContainsSummary) {
+  Histogram h;
+  for (int i = 0; i < 10; i++) h.Add(i);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=10"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(Random, DeterministicGivenSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Random, UniformStaysInRange) {
+  Random rnd(99);
+  for (int i = 0; i < 10000; i++) {
+    uint32_t v = rnd.Uniform(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Zipfian, SkewsTowardLowIds) {
+  ZipfianGenerator zipf(10000, 0.99, 7);
+  uint64_t low = 0, total = 20000;
+  for (uint64_t i = 0; i < total; i++) {
+    if (zipf.Next() < 100) low++;  // Hottest 1% of the key space.
+  }
+  // Under zipf(0.99), the top 1% should draw far more than 1% of
+  // accesses (typically ~35-60%).
+  EXPECT_GT(low, total / 5);
+}
+
+TEST(Zipfian, StaysInRange) {
+  ZipfianGenerator zipf(1000, 0.99, 11);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace unikv

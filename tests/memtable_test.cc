@@ -1,0 +1,176 @@
+#include "mem/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dbformat.h"
+
+namespace unikv {
+namespace {
+
+class MemTableTest : public testing::Test {
+ protected:
+  MemTableTest() : mem_(new MemTable(InternalKeyComparator())) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  std::string Get(const std::string& key, SequenceNumber seq,
+                  bool* is_deleted = nullptr) {
+    LookupKey lkey(key, seq);
+    std::string value;
+    Status s;
+    if (is_deleted != nullptr) *is_deleted = false;
+    if (!mem_->Get(lkey, &value, &s)) {
+      return "MISS";
+    }
+    if (s.IsNotFound()) {
+      if (is_deleted != nullptr) *is_deleted = true;
+      return "DELETED";
+    }
+    return value;
+  }
+
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddAndGet) {
+  mem_->Add(1, kTypeValue, "key1", "value1");
+  mem_->Add(2, kTypeValue, "key2", "value2");
+  EXPECT_EQ("value1", Get("key1", 100));
+  EXPECT_EQ("value2", Get("key2", 100));
+  EXPECT_EQ("MISS", Get("key3", 100));
+  EXPECT_EQ(2u, mem_->NumEntries());
+}
+
+TEST_F(MemTableTest, NewestVersionWins) {
+  mem_->Add(1, kTypeValue, "k", "old");
+  mem_->Add(5, kTypeValue, "k", "new");
+  EXPECT_EQ("new", Get("k", 100));
+}
+
+TEST_F(MemTableTest, SnapshotReadsSeeOldVersions) {
+  mem_->Add(1, kTypeValue, "k", "v1");
+  mem_->Add(5, kTypeValue, "k", "v5");
+  EXPECT_EQ("v1", Get("k", 1));
+  EXPECT_EQ("v1", Get("k", 4));
+  EXPECT_EQ("v5", Get("k", 5));
+  EXPECT_EQ("MISS", Get("k", 0));
+}
+
+TEST_F(MemTableTest, Deletion) {
+  mem_->Add(1, kTypeValue, "k", "v");
+  mem_->Add(2, kTypeDeletion, "k", "");
+  bool deleted = false;
+  EXPECT_EQ("DELETED", Get("k", 100, &deleted));
+  EXPECT_TRUE(deleted);
+  EXPECT_EQ("v", Get("k", 1));
+}
+
+TEST_F(MemTableTest, EmptyKeyAndValue) {
+  mem_->Add(1, kTypeValue, "", "");
+  EXPECT_EQ("", Get("", 100));
+}
+
+TEST_F(MemTableTest, BinaryData) {
+  std::string key("\x00\xff\x01", 3);
+  std::string value("\x00\x00", 2);
+  mem_->Add(1, kTypeValue, key, value);
+  EXPECT_EQ(value, Get(key, 100));
+}
+
+TEST_F(MemTableTest, IteratorYieldsInternalKeyOrder) {
+  mem_->Add(3, kTypeValue, "b", "b3");
+  mem_->Add(1, kTypeValue, "a", "a1");
+  mem_->Add(2, kTypeValue, "b", "b2");
+  mem_->Add(4, kTypeDeletion, "c", "");
+
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  iter->SeekToFirst();
+  // Expected: a@1, b@3 (newer first), b@2, c@4(del).
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("a", ExtractUserKey(iter->key()).ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", ExtractUserKey(iter->key()).ToString());
+  EXPECT_EQ(3u, ExtractSequence(iter->key()));
+  EXPECT_EQ("b3", iter->value().ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", ExtractUserKey(iter->key()).ToString());
+  EXPECT_EQ(2u, ExtractSequence(iter->key()));
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("c", ExtractUserKey(iter->key()).ToString());
+  EXPECT_EQ(kTypeDeletion, ExtractValueType(iter->key()));
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(MemTableTest, IteratorSeek) {
+  for (int i = 0; i < 100; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    mem_->Add(i + 1, kTypeValue, buf, "v");
+  }
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  std::string target;
+  AppendInternalKey(&target,
+                    ParsedInternalKey("k050", kMaxSequenceNumber,
+                                      kValueTypeForSeek));
+  iter->Seek(target);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k050", ExtractUserKey(iter->key()).ToString());
+  iter->Prev();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k049", ExtractUserKey(iter->key()).ToString());
+  iter->SeekToLast();
+  EXPECT_EQ("k099", ExtractUserKey(iter->key()).ToString());
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_->Add(i + 1, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 1000);
+}
+
+TEST(InternalKey, ComparatorOrdersUserKeyAscSeqDesc) {
+  InternalKeyComparator icmp;
+  std::string a1, a5, b1;
+  AppendInternalKey(&a1, ParsedInternalKey("a", 1, kTypeValue));
+  AppendInternalKey(&a5, ParsedInternalKey("a", 5, kTypeValue));
+  AppendInternalKey(&b1, ParsedInternalKey("b", 1, kTypeValue));
+  EXPECT_LT(icmp.Compare(a5, a1), 0);  // Higher seq sorts first.
+  EXPECT_LT(icmp.Compare(a1, b1), 0);
+  EXPECT_GT(icmp.Compare(b1, a5), 0);
+  EXPECT_EQ(0, icmp.Compare(a1, a1));
+}
+
+TEST(InternalKey, ParseRoundTrip) {
+  std::string encoded;
+  AppendInternalKey(&encoded,
+                    ParsedInternalKey("the-key", 0x123456, kTypeDeletion));
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(encoded, &parsed));
+  EXPECT_EQ("the-key", parsed.user_key.ToString());
+  EXPECT_EQ(0x123456u, parsed.sequence);
+  EXPECT_EQ(kTypeDeletion, parsed.type);
+}
+
+TEST(InternalKey, LookupKeyParts) {
+  LookupKey lkey("user-key", 42);
+  EXPECT_EQ("user-key", lkey.user_key().ToString());
+  EXPECT_EQ("user-key", ExtractUserKey(lkey.internal_key()).ToString());
+  EXPECT_EQ(42u, ExtractSequence(lkey.internal_key()));
+  // Long keys exercise the heap-allocation path.
+  std::string long_key(500, 'k');
+  LookupKey lkey2(long_key, 7);
+  EXPECT_EQ(long_key, lkey2.user_key().ToString());
+}
+
+}  // namespace
+}  // namespace unikv

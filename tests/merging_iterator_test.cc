@@ -1,0 +1,217 @@
+// Unit tests for the merging and concatenating iterators over synthetic
+// in-memory children.
+
+#include "core/merging_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/dbformat.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+// A simple vector-backed iterator over (internal key, value) pairs.
+class VectorIterator : public Iterator {
+ public:
+  explicit VectorIterator(
+      std::vector<std::pair<std::string, std::string>> data)
+      : data_(std::move(data)), pos_(data_.size()) {}
+
+  bool Valid() const override { return pos_ < data_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void SeekToLast() override {
+    pos_ = data_.empty() ? 0 : data_.size() - 1;
+    if (data_.empty()) pos_ = data_.size();
+  }
+  void Seek(const Slice& target) override {
+    InternalKeyComparator icmp;
+    pos_ = 0;
+    while (pos_ < data_.size() &&
+           icmp.Compare(Slice(data_[pos_].first), target) < 0) {
+      pos_++;
+    }
+  }
+  void Next() override { pos_++; }
+  void Prev() override {
+    if (pos_ == 0) {
+      pos_ = data_.size();
+    } else {
+      pos_--;
+    }
+  }
+  Slice key() const override { return Slice(data_[pos_].first); }
+  Slice value() const override { return Slice(data_[pos_].second); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> data_;
+  size_t pos_;
+};
+
+std::string IKey(const std::string& user_key, SequenceNumber seq) {
+  std::string r;
+  AppendInternalKey(&r, ParsedInternalKey(user_key, seq, kTypeValue));
+  return r;
+}
+
+TEST(MergingIterator, EmptyChildren) {
+  InternalKeyComparator icmp;
+  std::vector<Iterator*> children;
+  children.push_back(new VectorIterator({}));
+  children.push_back(new VectorIterator({}));
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp, std::move(children)));
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+  merged->SeekToLast();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIterator, InterleavesInOrder) {
+  InternalKeyComparator icmp;
+  std::vector<Iterator*> children;
+  children.push_back(new VectorIterator(
+      {{IKey("a", 1), "a1"}, {IKey("c", 1), "c1"}, {IKey("e", 1), "e1"}}));
+  children.push_back(new VectorIterator(
+      {{IKey("b", 2), "b2"}, {IKey("d", 2), "d2"}}));
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp, std::move(children)));
+
+  std::string forward;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    forward += ExtractUserKey(merged->key()).ToString();
+  }
+  EXPECT_EQ("abcde", forward);
+
+  std::string backward;
+  for (merged->SeekToLast(); merged->Valid(); merged->Prev()) {
+    backward += ExtractUserKey(merged->key()).ToString();
+  }
+  EXPECT_EQ("edcba", backward);
+}
+
+TEST(MergingIterator, SameUserKeyNewestFirst) {
+  InternalKeyComparator icmp;
+  std::vector<Iterator*> children;
+  children.push_back(new VectorIterator({{IKey("k", 5), "new"}}));
+  children.push_back(new VectorIterator({{IKey("k", 2), "old"}}));
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp, std::move(children)));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("new", merged->value().ToString());
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("old", merged->value().ToString());
+}
+
+TEST(MergingIterator, DirectionSwitchMidStream) {
+  InternalKeyComparator icmp;
+  std::vector<Iterator*> children;
+  children.push_back(new VectorIterator(
+      {{IKey("a", 1), "1"}, {IKey("c", 1), "3"}}));
+  children.push_back(new VectorIterator({{IKey("b", 1), "2"}}));
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp, std::move(children)));
+  merged->SeekToFirst();
+  merged->Next();  // At b.
+  EXPECT_EQ("b", ExtractUserKey(merged->key()).ToString());
+  merged->Prev();  // Back to a.
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("a", ExtractUserKey(merged->key()).ToString());
+  merged->Next();
+  merged->Next();  // At c.
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("c", ExtractUserKey(merged->key()).ToString());
+  merged->Prev();
+  EXPECT_EQ("b", ExtractUserKey(merged->key()).ToString());
+}
+
+TEST(MergingIterator, RandomizedAgainstModel) {
+  InternalKeyComparator icmp;
+  Random rnd(77);
+  std::map<std::string, std::string> model;  // internal key -> value.
+  std::vector<std::vector<std::pair<std::string, std::string>>> shards(5);
+  SequenceNumber seq = 1;
+  for (int i = 0; i < 500; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%04d", rnd.Uniform(200));
+    std::string ikey = IKey(buf, seq++);
+    std::string value = "v" + std::to_string(i);
+    shards[rnd.Uniform(5)].emplace_back(ikey, value);
+    model[ikey] = value;
+  }
+  // Children need sorted input.
+  std::vector<Iterator*> children;
+  for (auto& shard : shards) {
+    std::sort(shard.begin(), shard.end(),
+              [&icmp](const auto& a, const auto& b) {
+                return icmp.Compare(Slice(a.first), Slice(b.first)) < 0;
+              });
+    children.push_back(new VectorIterator(shard));
+  }
+  // Model must be in internal-key order too.
+  std::vector<std::pair<std::string, std::string>> expected(model.begin(),
+                                                            model.end());
+  std::sort(expected.begin(), expected.end(),
+            [&icmp](const auto& a, const auto& b) {
+              return icmp.Compare(Slice(a.first), Slice(b.first)) < 0;
+            });
+
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(icmp, std::move(children)));
+  size_t i = 0;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next(), i++) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(expected[i].first, merged->key().ToString());
+    EXPECT_EQ(expected[i].second, merged->value().ToString());
+  }
+  EXPECT_EQ(expected.size(), i);
+
+  // Seek spot checks.
+  for (int t = 0; t < 20; t++) {
+    size_t target = rnd.Uniform(expected.size());
+    merged->Seek(expected[target].first);
+    ASSERT_TRUE(merged->Valid());
+    EXPECT_EQ(expected[target].first, merged->key().ToString());
+  }
+}
+
+TEST(ConcatenatingIterator, OrderedRuns) {
+  InternalKeyComparator icmp;
+  std::vector<Iterator*> children;
+  children.push_back(new VectorIterator(
+      {{IKey("a", 1), "1"}, {IKey("b", 1), "2"}}));
+  children.push_back(new VectorIterator({}));  // Empty child mid-run.
+  children.push_back(new VectorIterator(
+      {{IKey("m", 1), "3"}, {IKey("z", 1), "4"}}));
+  std::unique_ptr<Iterator> concat(
+      NewConcatenatingIterator(icmp, std::move(children)));
+
+  std::string forward;
+  for (concat->SeekToFirst(); concat->Valid(); concat->Next()) {
+    forward += ExtractUserKey(concat->key()).ToString();
+  }
+  EXPECT_EQ("abmz", forward);
+
+  std::string backward;
+  for (concat->SeekToLast(); concat->Valid(); concat->Prev()) {
+    backward += ExtractUserKey(concat->key()).ToString();
+  }
+  EXPECT_EQ("zmba", backward);
+
+  concat->Seek(IKey("c", kMaxSequenceNumber));
+  ASSERT_TRUE(concat->Valid());
+  EXPECT_EQ("m", ExtractUserKey(concat->key()).ToString());
+
+  concat->Seek(IKey("zz", kMaxSequenceNumber));
+  EXPECT_FALSE(concat->Valid());
+}
+
+}  // namespace
+}  // namespace unikv

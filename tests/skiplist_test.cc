@@ -1,0 +1,165 @@
+#include "mem/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+typedef uint64_t Key;
+
+struct Comparator {
+  int operator()(const Key& a, const Key& b) const {
+    if (a < b) {
+      return -1;
+    } else if (a > b) {
+      return +1;
+    } else {
+      return 0;
+    }
+  }
+};
+
+TEST(SkipList, Empty) {
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+  EXPECT_TRUE(!list.Contains(10));
+
+  SkipList<Key, Comparator>::Iterator iter(&list);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_TRUE(!iter.Valid());
+  iter.Seek(100);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToLast();
+  EXPECT_TRUE(!iter.Valid());
+}
+
+TEST(SkipList, InsertAndLookup) {
+  const int N = 2000;
+  const int R = 5000;
+  Random rnd(1000);
+  std::set<Key> keys;
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+  for (int i = 0; i < N; i++) {
+    Key key = rnd.Next() % R;
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+
+  for (int i = 0; i < R; i++) {
+    if (list.Contains(i)) {
+      EXPECT_EQ(keys.count(i), 1u);
+    } else {
+      EXPECT_EQ(keys.count(i), 0u);
+    }
+  }
+
+  // Simple iterator tests.
+  {
+    SkipList<Key, Comparator>::Iterator iter(&list);
+    EXPECT_TRUE(!iter.Valid());
+
+    iter.Seek(0);
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToFirst();
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToLast();
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.rbegin()), iter.key());
+  }
+
+  // Forward iteration.
+  for (int i = 0; i < R; i++) {
+    SkipList<Key, Comparator>::Iterator iter(&list);
+    iter.Seek(i);
+
+    // Compare against model iterator.
+    std::set<Key>::iterator model_iter = keys.lower_bound(i);
+    for (int j = 0; j < 3; j++) {
+      if (model_iter == keys.end()) {
+        EXPECT_TRUE(!iter.Valid());
+        break;
+      } else {
+        ASSERT_TRUE(iter.Valid());
+        EXPECT_EQ(*model_iter, iter.key());
+        ++model_iter;
+        iter.Next();
+      }
+    }
+  }
+
+  // Backward iteration.
+  {
+    SkipList<Key, Comparator>::Iterator iter(&list);
+    iter.SeekToLast();
+    for (std::set<Key>::reverse_iterator model_iter = keys.rbegin();
+         model_iter != keys.rend(); ++model_iter) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(*model_iter, iter.key());
+      iter.Prev();
+    }
+    EXPECT_TRUE(!iter.Valid());
+  }
+}
+
+// One writer inserting while readers iterate concurrently: every key a
+// reader observes must exist, and iteration stays sorted.
+TEST(SkipList, ConcurrentReadersSingleWriter) {
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> max_inserted{0};
+
+  std::thread readers[2];
+  for (auto& t : readers) {
+    t = std::thread([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        SkipList<Key, Comparator>::Iterator iter(&list);
+        Key prev = 0;
+        bool first = true;
+        for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+          Key k = iter.key();
+          if (!first) {
+            ASSERT_LT(prev, k);  // Strictly sorted.
+          }
+          first = false;
+          prev = k;
+        }
+        // Everything inserted before this iteration began must be there.
+        uint64_t floor = max_inserted.load(std::memory_order_acquire);
+        if (floor > 0) {
+          ASSERT_TRUE(list.Contains(floor));
+        }
+      }
+    });
+  }
+
+  Random rnd(7);
+  for (uint64_t i = 1; i <= 20000; i++) {
+    list.Insert(i);
+    max_inserted.store(i, std::memory_order_release);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace unikv {
+namespace {
+
+TEST(Slice, Basics) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(0u, empty.size());
+
+  Slice s("hello");
+  EXPECT_EQ(5u, s.size());
+  EXPECT_EQ('h', s[0]);
+  EXPECT_EQ("hello", s.ToString());
+
+  std::string owned = "world";
+  Slice t(owned);
+  EXPECT_EQ("world", t.ToString());
+
+  s.remove_prefix(2);
+  EXPECT_EQ("llo", s.ToString());
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Slice, Compare) {
+  EXPECT_EQ(0, Slice("abc").compare(Slice("abc")));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);   // Prefix sorts first.
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+  EXPECT_LT(Slice("").compare(Slice("a")), 0);
+}
+
+TEST(Slice, CompareIsBytewiseUnsigned) {
+  // 0xff must sort after 0x00 (unsigned comparison).
+  char hi = static_cast<char>(0xff);
+  char lo = 0x00;
+  EXPECT_GT(Slice(&hi, 1).compare(Slice(&lo, 1)), 0);
+}
+
+TEST(Slice, Equality) {
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+  std::string with_nul("a\0b", 3);
+  EXPECT_TRUE(Slice(with_nul) != Slice("a"));
+  EXPECT_EQ(3u, Slice(with_nul).size());
+}
+
+TEST(Slice, StartsWith) {
+  EXPECT_TRUE(Slice("hello").starts_with("he"));
+  EXPECT_TRUE(Slice("hello").starts_with(""));
+  EXPECT_FALSE(Slice("hello").starts_with("hello!"));
+  EXPECT_FALSE(Slice("hello").starts_with("x"));
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("OK", s.ToString());
+}
+
+TEST(Status, Codes) {
+  EXPECT_TRUE(Status::NotFound("f").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("c").IsCorruption());
+  EXPECT_TRUE(Status::IOError("i").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("n").IsNotSupported());
+  EXPECT_TRUE(Status::InvalidArgument("a").IsInvalidArgument());
+  EXPECT_TRUE(Status::Busy("b").IsBusy());
+  EXPECT_FALSE(Status::NotFound("f").ok());
+  EXPECT_FALSE(Status::NotFound("f").IsCorruption());
+}
+
+TEST(Status, Messages) {
+  Status s = Status::Corruption("bad block", "file 7");
+  EXPECT_EQ("Corruption: bad block: file 7", s.ToString());
+  Status t = Status::IOError("disk gone");
+  EXPECT_EQ("IO error: disk gone", t.ToString());
+}
+
+TEST(Status, CopyAssign) {
+  Status s = Status::NotFound("x");
+  Status t = s;
+  EXPECT_TRUE(t.IsNotFound());
+  t = Status::OK();
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,134 @@
+#include "core/table_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/filename.h"
+#include "table/table_builder.h"
+#include "util/env.h"
+
+namespace unikv {
+namespace {
+
+std::string IKey(const std::string& user_key) {
+  std::string r;
+  AppendInternalKey(&r, ParsedInternalKey(user_key, 100, kTypeValue));
+  return r;
+}
+
+class TableCacheTest : public testing::Test {
+ protected:
+  TableCacheTest() : env_(NewMemEnv()) {
+    env_->CreateDir("/db");
+    cache_ = std::make_unique<TableCache>(env_.get(), "/db", TableOptions(),
+                                          nullptr, 4 /* tiny capacity */);
+  }
+
+  uint64_t BuildTable(uint64_t number, int keys) {
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(
+        env_->NewWritableFile(TableFileName("/db", number), &file).ok());
+    TableBuilder builder(TableOptions(), file.get());
+    for (int i = 0; i < keys; i++) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "k%04d", i);
+      builder.Add(IKey(buf), "v" + std::to_string(i));
+    }
+    EXPECT_TRUE(builder.Finish().ok());
+    EXPECT_TRUE(file->Close().ok());
+    return builder.FileSize();
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<TableCache> cache_;
+};
+
+TEST_F(TableCacheTest, GetThroughCache) {
+  uint64_t size = BuildTable(1, 100);
+  bool found = false;
+  std::string key_out, value_out;
+  ASSERT_TRUE(
+      cache_->Get(1, size, IKey("k0042"), &found, &key_out, &value_out).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ("v42", value_out);
+  // Second access is served from the cached reader.
+  ASSERT_TRUE(
+      cache_->Get(1, size, IKey("k0007"), &found, &key_out, &value_out).ok());
+  EXPECT_EQ("v7", value_out);
+  EXPECT_GE(cache_->AccessCount(1, size), 2u);
+}
+
+TEST_F(TableCacheTest, MissingFileIsAnError) {
+  bool found = false;
+  std::string key_out, value_out;
+  Status s = cache_->Get(999, 1000, IKey("x"), &found, &key_out, &value_out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(found);
+  Iterator* iter = cache_->NewIterator(999, 1000);
+  EXPECT_FALSE(iter->status().ok());
+  delete iter;
+}
+
+TEST_F(TableCacheTest, EvictionBeyondCapacityStillWorks) {
+  // Capacity is 4 open tables; use 10.
+  std::vector<uint64_t> sizes(11);
+  for (uint64_t n = 1; n <= 10; n++) {
+    sizes[n] = BuildTable(n, 10);
+  }
+  for (int round = 0; round < 3; round++) {
+    for (uint64_t n = 1; n <= 10; n++) {
+      bool found = false;
+      std::string key_out, value_out;
+      ASSERT_TRUE(cache_->Get(n, sizes[n], IKey("k0003"), &found, &key_out,
+                              &value_out)
+                      .ok())
+          << n;
+      ASSERT_TRUE(found);
+      EXPECT_EQ("v3", value_out);
+    }
+  }
+}
+
+TEST_F(TableCacheTest, IteratorPinsEvictedTable) {
+  uint64_t size = BuildTable(1, 50);
+  Iterator* iter = cache_->NewIterator(1, size);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+
+  // Evict while the iterator is open; it must stay usable.
+  cache_->Evict(1);
+  int n = 0;
+  for (; iter->Valid(); iter->Next()) n++;
+  EXPECT_EQ(50, n);
+  EXPECT_TRUE(iter->status().ok());
+  delete iter;
+
+  // And the table can be reopened afterwards.
+  bool found = false;
+  std::string key_out, value_out;
+  ASSERT_TRUE(
+      cache_->Get(1, size, IKey("k0001"), &found, &key_out, &value_out).ok());
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TableCacheTest, EvictAfterFileDeletionReleasesHandle) {
+  uint64_t size = BuildTable(7, 10);
+  bool found = false;
+  std::string key_out, value_out;
+  ASSERT_TRUE(
+      cache_->Get(7, size, IKey("k0001"), &found, &key_out, &value_out).ok());
+  env_->RemoveFile(TableFileName("/db", 7));
+  cache_->Evict(7);
+  // The reader is gone; a fresh open fails cleanly.
+  Status s = cache_->Get(7, size, IKey("k0001"), &found, &key_out, &value_out);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(TableCacheTest, KeyMayMatchWithoutFilterIsTrue) {
+  uint64_t size = BuildTable(3, 10);
+  EXPECT_TRUE(cache_->KeyMayMatch(3, size, "anything"));
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,47 @@
+#ifndef UNIKV_TESTS_TEST_UTIL_H_
+#define UNIKV_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/env.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace test {
+
+/// Returns a fresh scratch directory path for the calling test (removed
+/// first if it already exists).
+inline std::string NewTestDir(const std::string& name) {
+  const char* base = std::getenv("TEST_TMPDIR");
+  std::string dir = std::string(base != nullptr ? base : "/tmp") +
+                    "/unikv_test_" + name;
+  RemoveDirRecursively(Env::Default(), dir);
+  Env::Default()->CreateDir(dir);
+  return dir;
+}
+
+/// Deterministic key of fixed width: "key0000001234".
+inline std::string TestKey(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%010llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+/// Deterministic value derived from (i, len).
+inline std::string TestValue(uint64_t i, size_t len = 64) {
+  Random rnd(static_cast<uint32_t>(i * 2654435761u + 1));
+  std::string v;
+  v.reserve(len);
+  for (size_t j = 0; j < len; j++) {
+    v.push_back(static_cast<char>('a' + rnd.Uniform(26)));
+  }
+  return v;
+}
+
+}  // namespace test
+}  // namespace unikv
+
+#endif  // UNIKV_TESTS_TEST_UTIL_H_

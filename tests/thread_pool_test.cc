@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace unikv {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; i++) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(1000, count.load());
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyWithCaller) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.Schedule([&ran] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ran.store(true);
+  });
+  // The caller is not blocked by Schedule.
+  EXPECT_TRUE(true);
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; wave++) {
+    for (int i = 0; i < 100; i++) {
+      pool.Schedule([&count] { count.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ((wave + 1) * 100, count.load());
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; i++) {
+      pool.Schedule([&count] { count.fetch_add(1); });
+    }
+    // Destructor runs here; all queued tasks must complete.
+  }
+  EXPECT_EQ(50, count.load());
+}
+
+TEST(ThreadPool, MinimumOneThread) {
+  ThreadPool pool(0);  // Clamped to 1.
+  EXPECT_EQ(1, pool.num_threads());
+  std::atomic<int> count{0};
+  pool.Schedule([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(1, count.load());
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,229 @@
+// Value-log tests: pointer codec, record round trips via the cache,
+// span reads, sequential scans, and torn-tail handling.
+
+#include "vlog/value_log.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/filename.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+TEST(ValuePointer, Codec) {
+  ValuePointer ptr;
+  ptr.partition = 7;
+  ptr.log_number = 123456789;
+  ptr.offset = 0xDEADBEEFCAFEull;
+  ptr.size = 4096;
+  std::string encoded;
+  ptr.EncodeTo(&encoded);
+
+  ValuePointer decoded;
+  Slice input(encoded);
+  ASSERT_TRUE(decoded.DecodeFrom(&input));
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(ptr, decoded);
+
+  // Truncated encodings fail cleanly.
+  for (size_t len = 0; len < encoded.size(); len++) {
+    ValuePointer bad;
+    Slice trunc(encoded.data(), len);
+    EXPECT_FALSE(bad.DecodeFrom(&trunc)) << len;
+  }
+}
+
+class ValueLogTest : public testing::Test {
+ protected:
+  ValueLogTest() : env_(NewMemEnv()) {
+    env_->CreateDir("/db");
+    cache_ = std::make_unique<ValueLogCache>(env_.get(), "/db");
+  }
+
+  std::unique_ptr<ValueLogWriter> NewWriter(uint64_t log_number) {
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(
+        env_->NewWritableFile(ValueLogFileName("/db", log_number), &file)
+            .ok());
+    return std::make_unique<ValueLogWriter>(std::move(file), 0, log_number);
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<ValueLogCache> cache_;
+};
+
+TEST_F(ValueLogTest, WriteAndFetch) {
+  auto writer = NewWriter(5);
+  std::vector<ValuePointer> ptrs;
+  for (int i = 0; i < 100; i++) {
+    ValuePointer ptr;
+    ASSERT_TRUE(writer
+                    ->Add("key" + std::to_string(i),
+                          "value" + std::to_string(i), &ptr)
+                    .ok());
+    EXPECT_EQ(5u, ptr.log_number);
+    ptrs.push_back(ptr);
+  }
+  ASSERT_TRUE(writer->Flush().ok());
+
+  for (int i = 0; i < 100; i++) {
+    std::string value, key;
+    ASSERT_TRUE(cache_->Get(ptrs[i], &value, &key).ok());
+    EXPECT_EQ("value" + std::to_string(i), value);
+    EXPECT_EQ("key" + std::to_string(i), key);
+  }
+}
+
+TEST_F(ValueLogTest, OffsetsAreContiguous) {
+  auto writer = NewWriter(1);
+  ValuePointer a, b;
+  ASSERT_TRUE(writer->Add("k1", "v1", &a).ok());
+  ASSERT_TRUE(writer->Add("k2", "v2", &b).ok());
+  EXPECT_EQ(0u, a.offset);
+  EXPECT_EQ(a.size, b.offset);
+  EXPECT_EQ(writer->CurrentOffset(), b.offset + b.size);
+}
+
+TEST_F(ValueLogTest, LargeAndEmptyValues) {
+  auto writer = NewWriter(2);
+  std::string big(1 << 20, 'B');
+  ValuePointer p_big, p_empty;
+  ASSERT_TRUE(writer->Add("big", big, &p_big).ok());
+  ASSERT_TRUE(writer->Add("empty", "", &p_empty).ok());
+  writer->Flush();
+  std::string value;
+  ASSERT_TRUE(cache_->Get(p_big, &value).ok());
+  EXPECT_EQ(big, value);
+  ASSERT_TRUE(cache_->Get(p_empty, &value).ok());
+  EXPECT_EQ("", value);
+}
+
+TEST_F(ValueLogTest, SpanRead) {
+  auto writer = NewWriter(3);
+  std::vector<ValuePointer> ptrs(10);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        writer->Add("k" + std::to_string(i), std::string(100, 'a' + i),
+                    &ptrs[i]).ok());
+  }
+  writer->Flush();
+  std::string span;
+  uint64_t begin = ptrs[2].offset;
+  uint64_t end = ptrs[7].offset + ptrs[7].size;
+  ASSERT_TRUE(cache_->GetSpan(3, begin, end - begin, &span).ok());
+  // Each record can be decoded at its relative offset.
+  for (int i = 2; i <= 7; i++) {
+    Slice record(span.data() + (ptrs[i].offset - begin), ptrs[i].size);
+    Slice key, value;
+    ASSERT_TRUE(DecodeValueRecord(record, &key, &value).ok());
+    EXPECT_EQ("k" + std::to_string(i), key.ToString());
+    EXPECT_EQ(std::string(100, 'a' + i), value.ToString());
+  }
+}
+
+TEST_F(ValueLogTest, CorruptRecordDetected) {
+  auto writer = NewWriter(4);
+  ValuePointer ptr;
+  ASSERT_TRUE(writer->Add("key", "value", &ptr).ok());
+  writer->Flush();
+
+  // Corrupt a byte of the stored record.
+  std::string fname = ValueLogFileName("/db", 4);
+  uint64_t size;
+  env_->GetFileSize(fname, &size);
+  std::string contents(size, 0);
+  {
+    std::unique_ptr<RandomAccessFile> reader;
+    env_->NewRandomAccessFile(fname, &reader);
+    Slice data;
+    reader->Read(0, size, &data, contents.data());
+    contents.assign(data.data(), data.size());
+  }
+  contents[size / 2] ^= 0x10;
+  std::unique_ptr<WritableFile> w;
+  env_->NewWritableFile(fname, &w);
+  w->Append(contents);
+  w->Close();
+  cache_->Evict(0, 4);
+
+  std::string value;
+  Status s = cache_->Get(ptr, &value);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(ValueLogTest, SequentialScanAndTornTail) {
+  auto writer = NewWriter(6);
+  for (int i = 0; i < 50; i++) {
+    ValuePointer ptr;
+    ASSERT_TRUE(
+        writer->Add("k" + std::to_string(i), "v" + std::to_string(i), &ptr)
+            .ok());
+  }
+  writer->Flush();
+  std::string fname = ValueLogFileName("/db", 6);
+
+  int count = 0;
+  ASSERT_TRUE(ScanValueLog(env_.get(), fname,
+                           [&](uint64_t, uint32_t, const Slice& key,
+                               const Slice& value) {
+                             EXPECT_EQ("k" + std::to_string(count),
+                                       key.ToString());
+                             EXPECT_EQ("v" + std::to_string(count),
+                                       value.ToString());
+                             count++;
+                           })
+                  .ok());
+  EXPECT_EQ(50, count);
+
+  // Truncate mid-record: the scan stops at the torn tail without error.
+  uint64_t size;
+  env_->GetFileSize(fname, &size);
+  std::string contents(size, 0);
+  {
+    std::unique_ptr<RandomAccessFile> reader;
+    env_->NewRandomAccessFile(fname, &reader);
+    Slice data;
+    reader->Read(0, size, &data, contents.data());
+    contents.assign(data.data(), data.size());
+  }
+  contents.resize(size - 3);
+  std::unique_ptr<WritableFile> w;
+  env_->NewWritableFile(fname, &w);
+  w->Append(contents);
+  w->Close();
+
+  count = 0;
+  ASSERT_TRUE(ScanValueLog(env_.get(), fname,
+                           [&](uint64_t, uint32_t, const Slice&,
+                               const Slice&) { count++; })
+                  .ok());
+  EXPECT_EQ(49, count);
+}
+
+TEST_F(ValueLogTest, MissingLogFileSurfacesError) {
+  ValuePointer ptr;
+  ptr.log_number = 999;
+  ptr.size = 10;
+  std::string value;
+  EXPECT_FALSE(cache_->Get(ptr, &value).ok());
+}
+
+TEST_F(ValueLogTest, BinaryKeysAndValues) {
+  auto writer = NewWriter(7);
+  std::string key("\0\xff\n", 3);
+  std::string value("\0\0\0\0", 4);
+  ValuePointer ptr;
+  ASSERT_TRUE(writer->Add(key, value, &ptr).ok());
+  writer->Flush();
+  std::string got_value, got_key;
+  ASSERT_TRUE(cache_->Get(ptr, &got_value, &got_key).ok());
+  EXPECT_EQ(key, got_key);
+  EXPECT_EQ(value, got_value);
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,144 @@
+// Tests for the benchmark workload generators and driver plumbing.
+
+#include "benchutil/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchutil/driver.h"
+#include "test_util.h"
+
+namespace unikv {
+namespace bench {
+namespace {
+
+TEST(KeyGenerator, KeysAreFixedWidthAndOrdered) {
+  EXPECT_EQ(KeyGenerator::Key(1).size(), KeyGenerator::Key(999999).size());
+  EXPECT_LT(KeyGenerator::Key(5), KeyGenerator::Key(10));
+  EXPECT_LT(KeyGenerator::Key(99), KeyGenerator::Key(100));
+}
+
+TEST(KeyGenerator, SequentialCoversSpace) {
+  KeyGenerator gen(Distribution::kSequential, 100, 1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; i++) {
+    seen.insert(gen.NextId());
+  }
+  EXPECT_EQ(100u, seen.size());
+  EXPECT_EQ(0u, gen.NextId());  // Wraps around.
+}
+
+TEST(KeyGenerator, UniformStaysInRange) {
+  KeyGenerator gen(Distribution::kUniform, 50, 2);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(gen.NextId(), 50u);
+  }
+}
+
+TEST(KeyGenerator, ZipfianSkews) {
+  KeyGenerator gen(Distribution::kZipfian, 10000, 3);
+  uint64_t hot = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (gen.NextId() < 100) hot++;
+  }
+  EXPECT_GT(hot, 2000u);  // Top 1% of keys draw >> 1% of accesses.
+}
+
+TEST(KeyGenerator, LatestFavorsFrontier) {
+  KeyGenerator gen(Distribution::kLatest, 10000, 4);
+  gen.SetFrontier(10000);
+  uint64_t recent = 0;
+  for (int i = 0; i < 10000; i++) {
+    uint64_t id = gen.NextId();
+    EXPECT_LT(id, 10000u);
+    if (id >= 9900) recent++;
+  }
+  EXPECT_GT(recent, 2000u);
+}
+
+TEST(MakeValue, DeterministicAndSized) {
+  EXPECT_EQ(MakeValue(7, 100), MakeValue(7, 100));
+  EXPECT_NE(MakeValue(7, 100), MakeValue(8, 100));
+  EXPECT_EQ(100u, MakeValue(7, 100).size());
+  EXPECT_EQ(0u, MakeValue(7, 0).size());
+}
+
+TEST(YcsbSpecs, AllSixDefined) {
+  for (char w : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    const YcsbSpec* spec = GetYcsbSpec(w);
+    ASSERT_NE(spec, nullptr) << w;
+    double total = spec->read_ratio + spec->update_ratio +
+                   spec->insert_ratio + spec->scan_ratio + spec->rmw_ratio;
+    EXPECT_NEAR(1.0, total, 1e-9) << w;
+  }
+  EXPECT_EQ(nullptr, GetYcsbSpec('Z'));
+}
+
+TEST(Driver, EndToEndPhasesOnTinyDb) {
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 128 * 1024;
+  opt.sorted_table_size = 32 * 1024;
+  std::string root = test::NewTestDir("driver");
+
+  BenchDb bdb(Engine::kUniKV, opt, root);
+  LoadSpec load;
+  load.num_keys = 500;
+  load.value_size = 256;
+  PhaseResult lr = RunLoad(&bdb, load);
+  EXPECT_EQ(500u, lr.ops);
+  EXPECT_GT(lr.kops_per_sec, 0.0);
+  EXPECT_GT(lr.bytes_written, 500u * 256);
+  EXPECT_GE(lr.write_amp, 1.0);
+
+  PointReadSpec reads;
+  reads.num_ops = 200;
+  reads.key_space = 500;
+  PhaseResult rr = RunPointReads(&bdb, reads);
+  EXPECT_EQ(200u, rr.ops);
+
+  ScanSpec scans;
+  scans.num_ops = 10;
+  scans.scan_len = 20;
+  scans.key_space = 500;
+  PhaseResult sr = RunScans(&bdb, scans);
+  EXPECT_EQ(200u, sr.ops);  // 10 scans x 20 entries.
+
+  UpdateSpec updates;
+  updates.num_ops = 300;
+  updates.key_space = 500;
+  updates.value_size = 256;
+  PhaseResult ur = RunUpdates(&bdb, updates);
+  EXPECT_EQ(300u, ur.ops);
+
+  MixedSpec mixed;
+  mixed.num_ops = 200;
+  mixed.key_space = 500;
+  PhaseResult mr = RunMixed(&bdb, mixed);
+  EXPECT_EQ(200u, mr.ops);
+
+  YcsbRunSpec ycsb;
+  ycsb.workload = 'A';
+  ycsb.num_ops = 200;
+  ycsb.key_space = 500;
+  PhaseResult yr = RunYcsb(&bdb, ycsb);
+  EXPECT_EQ(200u, yr.ops);
+
+  double reopen_secs = bdb.Reopen();
+  EXPECT_GE(reopen_secs, 0.0);
+  std::string value;
+  EXPECT_TRUE(
+      bdb.db()->Get(ReadOptions(), KeyGenerator::Key(0), &value).ok());
+}
+
+TEST(Driver, EngineNames) {
+  EXPECT_STREQ("UniKV", EngineName(Engine::kUniKV));
+  EXPECT_STREQ("LeveledLSM", EngineName(Engine::kLeveled));
+  EXPECT_STREQ("TieredLSM", EngineName(Engine::kTiered));
+  EXPECT_STREQ("HashLog", EngineName(Engine::kHashLog));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace unikv

@@ -1,0 +1,167 @@
+#include "mem/write_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dbformat.h"
+#include "mem/memtable.h"
+
+namespace unikv {
+namespace {
+
+// Renders the batch contents by replaying into a memtable and dumping it.
+static std::string PrintContents(WriteBatch* b) {
+  InternalKeyComparator cmp;
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  std::string state;
+  Status s = b->InsertInto(mem);
+  int count = 0;
+  Iterator* iter = mem->NewIterator();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ParsedInternalKey ikey;
+    EXPECT_TRUE(ParseInternalKey(iter->key(), &ikey));
+    switch (ikey.type) {
+      case kTypeValue:
+        state.append("Put(");
+        state.append(ikey.user_key.ToString());
+        state.append(", ");
+        state.append(iter->value().ToString());
+        state.append(")");
+        count++;
+        break;
+      case kTypeDeletion:
+        state.append("Delete(");
+        state.append(ikey.user_key.ToString());
+        state.append(")");
+        count++;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected type";
+    }
+    state.append("@");
+    state.append(std::to_string(ikey.sequence));
+  }
+  delete iter;
+  if (!s.ok()) {
+    state.append("ParseError()");
+  } else if (count != b->Count()) {
+    state.append("CountMismatch()");
+  }
+  mem->Unref();
+  return state;
+}
+
+TEST(WriteBatch, Empty) {
+  WriteBatch batch;
+  EXPECT_EQ("", PrintContents(&batch));
+  EXPECT_EQ(0, batch.Count());
+}
+
+TEST(WriteBatch, Multiple) {
+  WriteBatch batch;
+  batch.Put("foo", "bar");
+  batch.Delete("box");
+  batch.Put("baz", "boo");
+  batch.SetSequence(100);
+  EXPECT_EQ(100u, batch.Sequence());
+  EXPECT_EQ(3, batch.Count());
+  EXPECT_EQ("Put(baz, boo)@102Delete(box)@101Put(foo, bar)@100",
+            PrintContents(&batch));
+}
+
+TEST(WriteBatch, Corruption) {
+  WriteBatch batch;
+  batch.Put("foo", "bar");
+  batch.Delete("box");
+  batch.SetSequence(200);
+  Slice contents = batch.Contents();
+  WriteBatch truncated;
+  truncated.SetContents(Slice(contents.data(), contents.size() - 1));
+  // The first record parses; the truncated second surfaces ParseError.
+  EXPECT_EQ("Put(foo, bar)@200ParseError()", PrintContents(&truncated));
+}
+
+TEST(WriteBatch, Append) {
+  WriteBatch b1, b2;
+  b1.SetSequence(200);
+  b2.SetSequence(300);
+  b1.Append(b2);
+  EXPECT_EQ("", PrintContents(&b1));
+  b2.Put("a", "va");
+  b1.Append(b2);
+  EXPECT_EQ("Put(a, va)@200", PrintContents(&b1));
+  b2.Clear();
+  b2.Put("b", "vb");
+  b1.Append(b2);
+  EXPECT_EQ("Put(a, va)@200Put(b, vb)@201", PrintContents(&b1));
+  b2.Delete("foo");
+  b1.Append(b2);
+  // Memtable dump order: user key ascending, then sequence descending.
+  EXPECT_EQ("Put(a, va)@200Put(b, vb)@202Put(b, vb)@201Delete(foo)@203",
+            PrintContents(&b1));
+}
+
+TEST(WriteBatch, ApproximateSize) {
+  WriteBatch batch;
+  size_t empty_size = batch.ApproximateSize();
+
+  batch.Put("foo", "bar");
+  size_t one_key_size = batch.ApproximateSize();
+  EXPECT_LT(empty_size, one_key_size);
+
+  batch.Put("baz", "boo");
+  size_t two_keys_size = batch.ApproximateSize();
+  EXPECT_LT(one_key_size, two_keys_size);
+
+  batch.Delete("box");
+  size_t post_delete_size = batch.ApproximateSize();
+  EXPECT_LT(two_keys_size, post_delete_size);
+}
+
+TEST(WriteBatch, ClearResets) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  batch.SetSequence(7);
+  batch.Clear();
+  EXPECT_EQ(0, batch.Count());
+  EXPECT_EQ("", PrintContents(&batch));
+}
+
+TEST(WriteBatch, HandlerSeesOperationsInOrder) {
+  struct Recorder : public WriteBatch::Handler {
+    std::string log;
+    void Put(const Slice& key, const Slice& value) override {
+      log += "P(" + key.ToString() + "," + value.ToString() + ")";
+    }
+    void Delete(const Slice& key) override {
+      log += "D(" + key.ToString() + ")";
+    }
+  };
+  WriteBatch batch;
+  batch.Put("one", "1");
+  batch.Delete("two");
+  batch.Put("three", "3");
+  Recorder recorder;
+  ASSERT_TRUE(batch.Iterate(&recorder).ok());
+  EXPECT_EQ("P(one,1)D(two)P(three,3)", recorder.log);
+}
+
+TEST(WriteBatch, BinaryPayloads) {
+  WriteBatch batch;
+  std::string key("\0k\xff", 3), value("\0\0", 2);
+  batch.Put(key, value);
+  batch.SetSequence(1);
+  InternalKeyComparator cmp;
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  ASSERT_TRUE(batch.InsertInto(mem).ok());
+  LookupKey lkey(key, 10);
+  std::string found;
+  Status s;
+  ASSERT_TRUE(mem->Get(lkey, &found, &s));
+  EXPECT_EQ(value, found);
+  mem->Unref();
+}
+
+}  // namespace
+}  // namespace unikv
