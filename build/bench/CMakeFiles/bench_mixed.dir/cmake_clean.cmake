@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed.dir/bench_mixed.cc.o"
+  "CMakeFiles/bench_mixed.dir/bench_mixed.cc.o.d"
+  "bench_mixed"
+  "bench_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan.dir/bench_scan.cc.o"
+  "CMakeFiles/bench_scan.dir/bench_scan.cc.o.d"
+  "bench_scan"
+  "bench_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

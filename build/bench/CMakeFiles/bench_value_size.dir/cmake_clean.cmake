@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_size.dir/bench_value_size.cc.o"
+  "CMakeFiles/bench_value_size.dir/bench_value_size.cc.o.d"
+  "bench_value_size"
+  "bench_value_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_comparison.dir/engine_comparison.cc.o"
+  "CMakeFiles/engine_comparison.dir/engine_comparison.cc.o.d"
+  "engine_comparison"
+  "engine_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

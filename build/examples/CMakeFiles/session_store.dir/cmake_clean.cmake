@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_store.dir/session_store.cc.o"
+  "CMakeFiles/session_store.dir/session_store.cc.o.d"
+  "session_store"
+  "session_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

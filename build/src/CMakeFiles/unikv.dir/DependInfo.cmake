@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/base_lsm.cc" "src/CMakeFiles/unikv.dir/baseline/base_lsm.cc.o" "gcc" "src/CMakeFiles/unikv.dir/baseline/base_lsm.cc.o.d"
+  "/root/repo/src/baseline/hashlog_db.cc" "src/CMakeFiles/unikv.dir/baseline/hashlog_db.cc.o" "gcc" "src/CMakeFiles/unikv.dir/baseline/hashlog_db.cc.o.d"
+  "/root/repo/src/benchutil/driver.cc" "src/CMakeFiles/unikv.dir/benchutil/driver.cc.o" "gcc" "src/CMakeFiles/unikv.dir/benchutil/driver.cc.o.d"
+  "/root/repo/src/benchutil/workload.cc" "src/CMakeFiles/unikv.dir/benchutil/workload.cc.o" "gcc" "src/CMakeFiles/unikv.dir/benchutil/workload.cc.o.d"
+  "/root/repo/src/core/compaction.cc" "src/CMakeFiles/unikv.dir/core/compaction.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/compaction.cc.o.d"
+  "/root/repo/src/core/db_iter.cc" "src/CMakeFiles/unikv.dir/core/db_iter.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/db_iter.cc.o.d"
+  "/root/repo/src/core/filename.cc" "src/CMakeFiles/unikv.dir/core/filename.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/filename.cc.o.d"
+  "/root/repo/src/core/iterator.cc" "src/CMakeFiles/unikv.dir/core/iterator.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/iterator.cc.o.d"
+  "/root/repo/src/core/merging_iterator.cc" "src/CMakeFiles/unikv.dir/core/merging_iterator.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/merging_iterator.cc.o.d"
+  "/root/repo/src/core/table_cache.cc" "src/CMakeFiles/unikv.dir/core/table_cache.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/table_cache.cc.o.d"
+  "/root/repo/src/core/unikv_db.cc" "src/CMakeFiles/unikv.dir/core/unikv_db.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/unikv_db.cc.o.d"
+  "/root/repo/src/core/version.cc" "src/CMakeFiles/unikv.dir/core/version.cc.o" "gcc" "src/CMakeFiles/unikv.dir/core/version.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/CMakeFiles/unikv.dir/index/hash_index.cc.o" "gcc" "src/CMakeFiles/unikv.dir/index/hash_index.cc.o.d"
+  "/root/repo/src/mem/memtable.cc" "src/CMakeFiles/unikv.dir/mem/memtable.cc.o" "gcc" "src/CMakeFiles/unikv.dir/mem/memtable.cc.o.d"
+  "/root/repo/src/mem/write_batch.cc" "src/CMakeFiles/unikv.dir/mem/write_batch.cc.o" "gcc" "src/CMakeFiles/unikv.dir/mem/write_batch.cc.o.d"
+  "/root/repo/src/table/block.cc" "src/CMakeFiles/unikv.dir/table/block.cc.o" "gcc" "src/CMakeFiles/unikv.dir/table/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/CMakeFiles/unikv.dir/table/block_builder.cc.o" "gcc" "src/CMakeFiles/unikv.dir/table/block_builder.cc.o.d"
+  "/root/repo/src/table/bloom.cc" "src/CMakeFiles/unikv.dir/table/bloom.cc.o" "gcc" "src/CMakeFiles/unikv.dir/table/bloom.cc.o.d"
+  "/root/repo/src/table/cache.cc" "src/CMakeFiles/unikv.dir/table/cache.cc.o" "gcc" "src/CMakeFiles/unikv.dir/table/cache.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/CMakeFiles/unikv.dir/table/format.cc.o" "gcc" "src/CMakeFiles/unikv.dir/table/format.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/unikv.dir/table/table.cc.o" "gcc" "src/CMakeFiles/unikv.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/unikv.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/unikv.dir/table/table_builder.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/unikv.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/unikv.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/unikv.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/unikv.dir/util/env.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/env.cc.o.d"
+  "/root/repo/src/util/env_mem.cc" "src/CMakeFiles/unikv.dir/util/env_mem.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/env_mem.cc.o.d"
+  "/root/repo/src/util/env_posix.cc" "src/CMakeFiles/unikv.dir/util/env_posix.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/env_posix.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/unikv.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/unikv.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/unikv.dir/util/status.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/unikv.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/unikv.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/vlog/value_log.cc" "src/CMakeFiles/unikv.dir/vlog/value_log.cc.o" "gcc" "src/CMakeFiles/unikv.dir/vlog/value_log.cc.o.d"
+  "/root/repo/src/wal/log_reader.cc" "src/CMakeFiles/unikv.dir/wal/log_reader.cc.o" "gcc" "src/CMakeFiles/unikv.dir/wal/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/unikv.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/unikv.dir/wal/log_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_edge_test.dir/db_edge_test.cc.o"
+  "CMakeFiles/db_edge_test.dir/db_edge_test.cc.o.d"
+  "db_edge_test"
+  "db_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_gc_test.dir/db_gc_test.cc.o"
+  "CMakeFiles/db_gc_test.dir/db_gc_test.cc.o.d"
+  "db_gc_test"
+  "db_gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

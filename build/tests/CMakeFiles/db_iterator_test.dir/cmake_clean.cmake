@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_iterator_test.dir/db_iterator_test.cc.o"
+  "CMakeFiles/db_iterator_test.dir/db_iterator_test.cc.o.d"
+  "db_iterator_test"
+  "db_iterator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_partition_test.dir/db_partition_test.cc.o"
+  "CMakeFiles/db_partition_test.dir/db_partition_test.cc.o.d"
+  "db_partition_test"
+  "db_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

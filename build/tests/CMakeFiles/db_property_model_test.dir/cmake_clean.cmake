@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_property_model_test.dir/db_property_model_test.cc.o"
+  "CMakeFiles/db_property_model_test.dir/db_property_model_test.cc.o.d"
+  "db_property_model_test"
+  "db_property_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_property_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_recovery_test.dir/db_recovery_test.cc.o"
+  "CMakeFiles/db_recovery_test.dir/db_recovery_test.cc.o.d"
+  "db_recovery_test"
+  "db_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

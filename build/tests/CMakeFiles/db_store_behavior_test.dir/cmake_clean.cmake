@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_store_behavior_test.dir/db_store_behavior_test.cc.o"
+  "CMakeFiles/db_store_behavior_test.dir/db_store_behavior_test.cc.o.d"
+  "db_store_behavior_test"
+  "db_store_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_store_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

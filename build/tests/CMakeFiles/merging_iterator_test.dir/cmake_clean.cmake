@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merging_iterator_test.dir/merging_iterator_test.cc.o"
+  "CMakeFiles/merging_iterator_test.dir/merging_iterator_test.cc.o.d"
+  "merging_iterator_test"
+  "merging_iterator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merging_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

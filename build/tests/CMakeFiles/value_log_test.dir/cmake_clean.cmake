@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_log_test.dir/value_log_test.cc.o"
+  "CMakeFiles/value_log_test.dir/value_log_test.cc.o.d"
+  "value_log_test"
+  "value_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
