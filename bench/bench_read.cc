@@ -41,6 +41,8 @@ int main() {
       PrintTableRow({EngineName(engine), Fmt(r.kops_per_sec),
                      Fmt(r.read_amp, 2), Fmt(r.bytes_read / 1048576.0),
                      Fmt(r.latency_us.Percentile(99), 0)});
+      PrintPhasePerf(EngineName(engine), r);
+      DumpMetricsJson(&bdb);
     }
   }
 

@@ -4,6 +4,8 @@
 // Expected shape: UniKV leads or matches on A/B/C/D/F; E (scan heavy)
 // stays within the LeveledLSM ballpark thanks to the scan optimizations.
 
+#include <cstdio>
+
 #include "bench_common.h"
 
 using namespace unikv;
@@ -35,6 +37,11 @@ int main() {
       spec.value_size = kValueSize;
       PhaseResult r = RunYcsb(&bdb, spec);
       row.push_back(Fmt(r.kops_per_sec));
+      PrintPhasePerf(EngineName(engine), r);
+      std::string dumped = DumpMetricsJson(&bdb);
+      if (!dumped.empty()) {
+        std::printf("  [metrics] %s\n", dumped.c_str());
+      }
     }
     PrintTableRow(row);
   }

@@ -98,11 +98,13 @@ struct PhaseTimer {
   PhaseResult* result;
   uint64_t start_us;
   uint64_t start_written, start_read;
+  PerfContext start_perf;
 
   PhaseTimer(BenchDb* b, PhaseResult* r) : bdb(b), result(r) {
     start_us = Env::Default()->NowMicros();
     start_written = bdb->io()->bytes_written.load();
     start_read = bdb->io()->bytes_read.load();
+    start_perf = *GetPerfContext();
   }
 
   void Finish(uint64_t ops) {
@@ -112,6 +114,7 @@ struct PhaseTimer {
         result->seconds > 0 ? ops / result->seconds / 1000.0 : 0;
     result->bytes_written = bdb->io()->bytes_written.load() - start_written;
     result->bytes_read = bdb->io()->bytes_read.load() - start_read;
+    result->perf = GetPerfContext()->DeltaSince(start_perf);
   }
 };
 
@@ -319,6 +322,25 @@ PhaseResult RunYcsb(BenchDb* bdb, const YcsbRunSpec& spec) {
   }
   timer.Finish(spec.num_ops);
   return r;
+}
+
+void PrintPhasePerf(const char* engine, const PhaseResult& r) {
+  std::string s = r.perf.ToString();
+  if (s.empty()) return;
+  std::printf("  [perf %s/%s] %s\n", engine, r.phase.c_str(), s.c_str());
+  std::fflush(stdout);
+}
+
+std::string DumpMetricsJson(BenchDb* bdb) {
+  std::string json;
+  if (!bdb->db()->GetProperty("db.metrics.json", &json)) return "";
+  std::string path = bdb->path() + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return path;
 }
 
 void PrintTableHeader(const std::string& title,

@@ -10,6 +10,7 @@
 #include "core/db.h"
 #include "util/env.h"
 #include "util/histogram.h"
+#include "util/perf_context.h"
 
 namespace unikv {
 namespace bench {
@@ -35,6 +36,9 @@ struct PhaseResult {
   uint64_t user_bytes = 0;  // Logical bytes the workload wrote.
   double write_amp = 0;     // bytes_written / user_bytes.
   double read_amp = 0;      // bytes_read / user logical bytes read.
+  /// What the engine did during the phase, as seen by this thread's
+  /// PerfContext (hash-index probes, bloom checks, vlog reads, ...).
+  PerfContext perf;
 };
 
 /// A DB under test with an instrumented Env wrapped around the real one.
@@ -128,6 +132,14 @@ struct YcsbRunSpec {
 PhaseResult RunYcsb(BenchDb* bdb, const YcsbRunSpec& spec);
 
 /// Output helpers ------------------------------------------------------
+
+/// Prints the phase's nonzero PerfContext counters, one indented line.
+void PrintPhasePerf(const char* engine, const PhaseResult& r);
+
+/// Writes GetProperty("db.metrics.json") to `<db path>.metrics.json`
+/// (next to the bench DB directory). No-op for engines that do not
+/// support the property. Returns the path written, or "" on failure.
+std::string DumpMetricsJson(BenchDb* bdb);
 
 /// Prints a paper-style table: header row then one row per entry.
 void PrintTableHeader(const std::string& title,

@@ -120,7 +120,13 @@ void UniKVDB::BackgroundLoop() {
     }
     bg_work_scheduled_ = true;
     lock.unlock();
+    // Fold what the job itself observed (cache hits, bloom checks, table
+    // opens...) into the engine counters; the background thread has its
+    // own PerfContext, so foreground folds never see this work.
+    PerfContext* perf = GetPerfContext();
+    const PerfContext perf_before = *perf;
     Status s = DispatchWork(item);
+    metrics_.FoldPerf(perf->DeltaSince(perf_before));
     if (!s.ok()) {
       RecordBackgroundError(s);
     }
@@ -296,6 +302,7 @@ Status WriteCheckpointFile(Env* env, const std::string& fname,
 }  // namespace
 
 Status UniKVDB::CompactMemTable() {
+  const uint64_t start_us = env_->NowMicros();
   MemTable* mem;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -361,6 +368,19 @@ Status UniKVDB::CompactMemTable() {
     stats_.flushes++;
     imm_->Unref();
     imm_ = nullptr;
+
+    const uint64_t dur = env_->NowMicros() - start_us;
+    metrics_.flush_latency->Add(static_cast<double>(dur));
+    uint64_t bytes_written = 0;
+    for (const FlushOutput& out : outputs) {
+      partition_stats_[out.pid].flushes++;
+      bytes_written += out.meta.size;
+    }
+    JsonBuilder ev;
+    ev.AddUint("duration_micros", dur);
+    ev.AddUint("bytes_written", bytes_written);
+    ev.AddUint("output_tables", outputs.size());
+    event_log_->Log("flush", &ev);
   }
   bg_cv_.notify_all();
   return s;
@@ -369,6 +389,7 @@ Status UniKVDB::CompactMemTable() {
 // ------------------------------------------------------------------ merge
 
 Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
+  const uint64_t start_us = env_->NowMicros();
   const uint32_t pid = p->id;
   const bool separate = options_.enable_kv_separation;
 
@@ -587,6 +608,20 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     stats_.merges++;
     stats_.merge_bytes_read += bytes_read;
     stats_.merge_bytes_written += bytes_written;
+    partition_stats_[pid].merges++;
+
+    const uint64_t dur = env_->NowMicros() - start_us;
+    metrics_.merge_latency->Add(static_cast<double>(dur));
+    JsonBuilder ev;
+    ev.AddUint("partition", pid);
+    ev.AddUint("duration_micros", dur);
+    ev.AddUint("bytes_read", bytes_read);
+    ev.AddUint("bytes_written", bytes_written);
+    ev.AddUint("input_tables", p->unsorted.size() + p->sorted.size());
+    ev.AddUint("output_tables", outputs.size());
+    ev.AddUint("vlog_bytes", vlog_size);
+    ev.AddUint("garbage_added", garbage_added);
+    event_log_->Log("merge", &ev);
   }
   bg_cv_.notify_all();
   return s;
@@ -595,6 +630,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
 // ------------------------------------------------------------- scan merge
 
 Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
+  const uint64_t start_us = env_->NowMicros();
   const uint32_t pid = p->id;
   if (p->unsorted.size() < 2) return Status::OK();
 
@@ -671,6 +707,17 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
     }
     flushes_since_checkpoint_[pid] = 0;
     stats_.scan_merges++;
+    partition_stats_[pid].scan_merges++;
+
+    const uint64_t dur = env_->NowMicros() - start_us;
+    metrics_.scan_merge_latency->Add(static_cast<double>(dur));
+    JsonBuilder ev;
+    ev.AddUint("partition", pid);
+    ev.AddUint("duration_micros", dur);
+    ev.AddUint("input_tables", p->unsorted.size());
+    ev.AddUint("output_tables", 1);
+    ev.AddUint("bytes_written", meta.size);
+    event_log_->Log("scan_merge", &ev);
   }
   bg_cv_.notify_all();
   return s;
@@ -679,6 +726,7 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
 // --------------------------------------------------------------------- GC
 
 Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
+  const uint64_t start_us = env_->NowMicros();
   const uint32_t pid = p->id;
   if (p->sorted.empty() || p->vlogs.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -876,6 +924,19 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
     stats_.gcs++;
     stats_.gc_bytes_read += bytes_read;
     stats_.gc_bytes_written += bytes_written;
+    partition_stats_[pid].gcs++;
+
+    const uint64_t dur = env_->NowMicros() - start_us;
+    metrics_.gc_latency->Add(static_cast<double>(dur));
+    JsonBuilder ev;
+    ev.AddUint("partition", pid);
+    ev.AddUint("duration_micros", dur);
+    ev.AddUint("bytes_read", bytes_read);
+    ev.AddUint("bytes_written", bytes_written);
+    ev.AddUint("input_vlogs", p->vlogs.size());
+    ev.AddUint("output_tables", outputs.size());
+    ev.AddUint("vlog_bytes", vlog_size);
+    event_log_->Log("gc", &ev);
   }
   bg_cv_.notify_all();
   return s;
@@ -890,6 +951,7 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
   // (paper: lazy split scheme integrated with GC).
   assert(p->unsorted.empty());
   assert(p->sorted.size() >= 2);
+  const uint64_t start_us = env_->NowMicros();
 
   uint64_t total = 0;
   for (const FileMeta& f : p->sorted) total += f.logical;
@@ -929,6 +991,17 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
     vlog_garbage_[npid] = garbage - garbage / 2;
     flushes_since_checkpoint_[npid] = 0;
     stats_.splits++;
+    partition_stats_[p->id].splits++;
+
+    const uint64_t dur = env_->NowMicros() - start_us;
+    metrics_.split_latency->Add(static_cast<double>(dur));
+    JsonBuilder ev;
+    ev.AddUint("partition", p->id);
+    ev.AddUint("new_partition", npid);
+    ev.AddUint("duration_micros", dur);
+    ev.AddString("boundary", boundary);
+    ev.AddUint("tables_moved", p->sorted.size() - k);
+    event_log_->Log("split", &ev);
   }
   bg_cv_.notify_all();
   return s;

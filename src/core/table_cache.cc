@@ -5,6 +5,7 @@
 #include "table/table.h"
 #include "util/coding.h"
 #include "util/env.h"
+#include "util/perf_context.h"
 
 namespace unikv {
 
@@ -30,6 +31,7 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   Slice key(buf, sizeof(buf));
   Cache::Handle* handle = cache_->Lookup(key);
   if (handle == nullptr) {
+    GetPerfContext()->table_cache_misses++;
     std::string fname = TableFileName(dbname_, file_number);
     std::unique_ptr<RandomAccessFile> file;
     Status s = env_->NewRandomAccessFile(fname, &file);
@@ -39,6 +41,8 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
                     &table);
     if (!s.ok()) return s;
     handle = cache_->Insert(key, table, 1, &DeleteTableEntry);
+  } else {
+    GetPerfContext()->table_cache_hits++;
   }
   *handle_out = handle;
   return Status::OK();

@@ -16,6 +16,124 @@ namespace unikv {
 
 DB::~DB() = default;
 
+// --------------------------------------------------------- engine metrics
+
+EngineMetrics::EngineMetrics() {
+  gets = registry.GetCounter("gets");
+  memtable_hits = registry.GetCounter("memtable_hits");
+  hash_index_lookups = registry.GetCounter("hash_index_lookups");
+  hash_index_probes = registry.GetCounter("hash_index_probes");
+  hash_index_candidates = registry.GetCounter("hash_index_candidates");
+  bloom_checks = registry.GetCounter("bloom_checks");
+  bloom_negatives = registry.GetCounter("bloom_negatives");
+  bloom_false_positives = registry.GetCounter("bloom_false_positives");
+  unsorted_tables_probed = registry.GetCounter("unsorted_tables_probed");
+  sorted_seeks = registry.GetCounter("sorted_seeks");
+  table_cache_hits = registry.GetCounter("table_cache_hits");
+  table_cache_misses = registry.GetCounter("table_cache_misses");
+  block_cache_hits = registry.GetCounter("block_cache_hits");
+  block_cache_misses = registry.GetCounter("block_cache_misses");
+  block_reads = registry.GetCounter("block_reads");
+  vlog_reads = registry.GetCounter("vlog_reads");
+  vlog_span_reads = registry.GetCounter("vlog_span_reads");
+  vlog_read_bytes = registry.GetCounter("vlog_read_bytes");
+  writes = registry.GetCounter("writes");
+  write_bytes = registry.GetCounter("write_bytes");
+  write_stalls = registry.GetCounter("write_stalls");
+  stall_micros = registry.GetCounter("stall_micros");
+  wal_micros_total = registry.GetCounter("wal_micros_total");
+  memtable_micros_total = registry.GetCounter("memtable_micros_total");
+  scans = registry.GetCounter("scans");
+  scan_entries = registry.GetCounter("scan_entries");
+
+  get_latency = registry.GetHistogram("get_latency_us");
+  write_latency = registry.GetHistogram("write_latency_us");
+  scan_latency = registry.GetHistogram("scan_latency_us");
+  flush_latency = registry.GetHistogram("flush_latency_us");
+  merge_latency = registry.GetHistogram("merge_latency_us");
+  scan_merge_latency = registry.GetHistogram("scan_merge_latency_us");
+  gc_latency = registry.GetHistogram("gc_latency_us");
+  split_latency = registry.GetHistogram("split_latency_us");
+}
+
+void EngineMetrics::FoldPerf(const PerfContext& d) {
+  if (d.gets) gets->Add(d.gets);
+  if (d.memtable_hits) memtable_hits->Add(d.memtable_hits);
+  if (d.hash_index_lookups) hash_index_lookups->Add(d.hash_index_lookups);
+  if (d.hash_index_probes) hash_index_probes->Add(d.hash_index_probes);
+  if (d.hash_index_candidates) {
+    hash_index_candidates->Add(d.hash_index_candidates);
+  }
+  if (d.bloom_checks) bloom_checks->Add(d.bloom_checks);
+  if (d.bloom_negatives) bloom_negatives->Add(d.bloom_negatives);
+  if (d.bloom_false_positives) {
+    bloom_false_positives->Add(d.bloom_false_positives);
+  }
+  if (d.unsorted_tables_probed) {
+    unsorted_tables_probed->Add(d.unsorted_tables_probed);
+  }
+  if (d.sorted_seeks) sorted_seeks->Add(d.sorted_seeks);
+  if (d.table_cache_hits) table_cache_hits->Add(d.table_cache_hits);
+  if (d.table_cache_misses) table_cache_misses->Add(d.table_cache_misses);
+  if (d.block_cache_hits) block_cache_hits->Add(d.block_cache_hits);
+  if (d.block_cache_misses) block_cache_misses->Add(d.block_cache_misses);
+  if (d.block_reads) block_reads->Add(d.block_reads);
+  if (d.writes) writes->Add(d.writes);
+  if (d.write_stall_micros) stall_micros->Add(d.write_stall_micros);
+  if (d.write_wal_micros) wal_micros_total->Add(d.write_wal_micros);
+  if (d.write_memtable_micros) {
+    memtable_micros_total->Add(d.write_memtable_micros);
+  }
+  if (d.scans) scans->Add(d.scans);
+}
+
+namespace {
+
+// Per-thread registry-folding window (see PerfEndOp in unikv_db.h).
+// `owner` is compared by address only and never dereferenced: when the
+// thread moves on to a different DB the old EngineMetrics may be gone, so
+// the pending window is dropped rather than folded.
+struct PerfFoldState {
+  const void* owner = nullptr;  // &metrics_ of the DB the window belongs to.
+  PerfContext last;             // Context snapshot at the last fold.
+  uint32_t ops = 0;             // Foreground ops since the last fold.
+  uint32_t sample_tick = 0;     // Latency-clock sampling phase for Get.
+};
+constinit thread_local PerfFoldState tls_fold;
+
+constexpr uint32_t kPerfFoldBatch = 64;
+constexpr uint32_t kPerfSampleEvery = 32;
+
+}  // namespace
+
+void UniKVDB::PerfEndOp(PerfContext* perf) {
+  PerfFoldState& fs = tls_fold;
+  if (fs.owner != &metrics_ || fs.last.resets != perf->resets) {
+    // The pending window belongs to another DB (whose registry may be
+    // gone) or was invalidated by a Reset(); abandon it and start a fresh
+    // window here. The op that just finished is dropped from the
+    // registry, matching the at-most-one-batch-lag contract.
+    fs.owner = &metrics_;
+    fs.last = *perf;
+    fs.ops = 0;
+    return;
+  }
+  if (++fs.ops >= kPerfFoldBatch) {
+    metrics_.FoldPerf(perf->DeltaSince(fs.last));
+    fs.last = *perf;
+    fs.ops = 0;
+  }
+}
+
+void UniKVDB::FlushPerfPending() {
+  PerfFoldState& fs = tls_fold;
+  PerfContext* perf = GetPerfContext();
+  if (fs.owner != &metrics_ || fs.last.resets != perf->resets) return;
+  metrics_.FoldPerf(perf->DeltaSince(fs.last));
+  fs.last = *perf;
+  fs.ops = 0;
+}
+
 Status DB::Scan(const ReadOptions& options, const Slice& start, int count,
                 std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
@@ -43,6 +161,9 @@ UniKVDB::UniKVDB(const Options& options, const std::string& dbname)
   table_cache_ = std::make_unique<TableCache>(
       env_, dbname_, options_.table_options, block_cache_.get());
   vlog_cache_ = std::make_unique<ValueLogCache>(env_, dbname_);
+  vlog_cache_->SetCounters(metrics_.vlog_reads, metrics_.vlog_span_reads,
+                           metrics_.vlog_read_bytes);
+  event_log_ = std::make_unique<EventLogger>(env_, dbname_);
   fetch_pool_ = std::make_unique<ThreadPool>(options_.value_fetch_threads);
   versions_ = std::make_unique<VersionSet>(env_, dbname_);
 }
@@ -283,6 +404,21 @@ Status UniKVDB::Delete(const WriteOptions& options, const Slice& key) {
 }
 
 Status UniKVDB::Write(const WriteOptions& options, WriteBatch* updates) {
+  PerfContext* perf = GetPerfContext();
+  const uint64_t start_us = env_->NowMicros();
+  perf->writes++;
+  if (updates != nullptr) {
+    metrics_.write_bytes->Add(updates->ApproximateSize());
+  }
+  Status s = WriteImpl(options, updates);
+  const uint64_t dur = env_->NowMicros() - start_us;
+  perf->write_micros += dur;
+  metrics_.write_latency->Add(dur);
+  PerfEndOp(perf);
+  return s;
+}
+
+Status UniKVDB::WriteImpl(const WriteOptions& options, WriteBatch* updates) {
   Writer w(&mu_);
   w.batch = updates;
   w.sync = options.sync;
@@ -308,11 +444,16 @@ Status UniKVDB::Write(const WriteOptions& options, WriteBatch* updates) {
     // excluded until we pop the queue.
     {
       lock.unlock();
-      status = wal_->AddRecord(write_batch->Contents());
-      if (status.ok() && options.sync) {
-        status = wal_file_->Sync();
+      {
+        StopwatchGuard wal_timer(env_, &GetPerfContext()->write_wal_micros);
+        status = wal_->AddRecord(write_batch->Contents());
+        if (status.ok() && options.sync) {
+          status = wal_file_->Sync();
+        }
       }
       if (status.ok()) {
+        StopwatchGuard mem_timer(env_,
+                                 &GetPerfContext()->write_memtable_micros);
         status = write_batch->InsertInto(mem_);
       }
       lock.lock();
@@ -393,9 +534,17 @@ Status UniKVDB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       return Status::OK();
     }
     if (imm_ != nullptr) {
-      // The previous memtable is still being flushed: wait.
+      // The previous memtable is still being flushed: wait. Each wait is
+      // one stall episode; stall_micros reaches the registry through the
+      // PerfContext fold in Write().
+      const uint64_t stall_start = env_->NowMicros();
       bg_work_cv_.notify_all();
       bg_cv_.wait(lock);
+      const uint64_t waited = env_->NowMicros() - stall_start;
+      stats_.write_stalls++;
+      stats_.stall_micros += waited;
+      metrics_.write_stalls->Inc();
+      GetPerfContext()->write_stall_micros += waited;
       continue;
     }
     // Switch to a new memtable + WAL and hand the old one to the
@@ -414,6 +563,14 @@ Status UniKVDB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
 
 Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
                     std::string* value) {
+  PerfContext* perf = GetPerfContext();
+  // Point gets are fast enough (sub-microsecond on a negative lookup) that
+  // two clock reads per call measurably dent throughput, so only every
+  // kPerfSampleEvery-th get takes the latency sample.
+  const bool timed = (tls_fold.sample_tick++ % kPerfSampleEvery) == 0;
+  const uint64_t start_us = timed ? env_->NowMicros() : 0;
+  perf->gets++;
+
   MemTable* mem;
   MemTable* imm = nullptr;
   VersionPtr ver;
@@ -446,8 +603,10 @@ Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
   bool done = false;
   if (mem->Get(lkey, value, &s)) {
     done = true;
+    perf->memtable_hits++;
   } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
     done = true;
+    perf->memtable_hits++;
   }
 
   if (!done) {
@@ -464,6 +623,13 @@ Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
 
   mem->Unref();
   if (imm != nullptr) imm->Unref();
+
+  if (timed) {
+    const uint64_t dur = env_->NowMicros() - start_us;
+    perf->get_micros += dur;
+    metrics_.get_latency->Add(dur);
+  }
+  PerfEndOp(perf);
   return s;
 }
 
@@ -505,6 +671,7 @@ Status UniKVDB::GetFromUnsorted(const PartitionState& p,
 
   std::string found_key, found_value;
   for (const FileMeta* f : probe_order) {
+    GetPerfContext()->unsorted_tables_probed++;
     bool hit = false;
     Status s = table_cache_->Get(f->number, f->size, lkey.internal_key(),
                                  &hit, &found_key, &found_value);
@@ -546,6 +713,7 @@ Status UniKVDB::GetFromSorted(const PartitionState& p, const LookupKey& lkey,
   }
 
   const FileMeta& f = files[target];
+  GetPerfContext()->sorted_seeks++;
   bool hit = false;
   std::string found_key, found_value;
   Status s = table_cache_->Get(f.number, f.size, lkey.internal_key(), &hit,
@@ -631,6 +799,21 @@ Iterator* UniKVDB::NewIterator(const ReadOptions& /*options*/) {
 Status UniKVDB::Scan(const ReadOptions& options, const Slice& start,
                      int count,
                      std::vector<std::pair<std::string, std::string>>* out) {
+  PerfContext* perf = GetPerfContext();
+  const uint64_t start_us = env_->NowMicros();
+  perf->scans++;
+  Status s = ScanImpl(options, start, count, out);
+  const uint64_t dur = env_->NowMicros() - start_us;
+  perf->scan_micros += dur;
+  metrics_.scan_entries->Add(out->size());
+  metrics_.scan_latency->Add(dur);
+  PerfEndOp(perf);
+  return s;
+}
+
+Status UniKVDB::ScanImpl(const ReadOptions& options, const Slice& start,
+                         int count,
+                         std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
   if (!options_.enable_scan_optimization) {
     return DB::Scan(options, start, count, out);
@@ -776,9 +959,15 @@ Status UniKVDB::Scan(const ReadOptions& options, const Slice& start,
 // ------------------------------------------------------------ properties
 
 bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
+  if (property == Slice("db.metrics") || property == Slice("db.metrics.json")) {
+    // Push this thread's pending fold window into the registry so the
+    // report reflects everything the calling thread has done (lock-free;
+    // must happen before mu_ is taken only for tidiness).
+    FlushPerfPending();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   VersionPtr ver = versions_->current();
-  char buf[200];
+  char buf[256];
   if (property == Slice("db.num-partitions")) {
     std::snprintf(buf, sizeof(buf), "%zu", ver->partitions.size());
     *value = buf;
@@ -812,11 +1001,20 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
         buf, sizeof(buf),
         "flushes=%" PRIu64 " merges=%" PRIu64 " scan_merges=%" PRIu64
         " gcs=%" PRIu64 " splits=%" PRIu64 " merge_write_mb=%.1f"
-        " gc_write_mb=%.1f",
+        " gc_write_mb=%.1f write_stalls=%" PRIu64 " stall_micros=%" PRIu64,
         stats_.flushes, stats_.merges, stats_.scan_merges, stats_.gcs,
         stats_.splits, stats_.merge_bytes_written / 1048576.0,
-        stats_.gc_bytes_written / 1048576.0);
+        stats_.gc_bytes_written / 1048576.0, stats_.write_stalls,
+        stats_.stall_micros);
     *value = buf;
+    return true;
+  }
+  if (property == Slice("db.metrics")) {
+    *value = MetricsTextLocked(*ver);
+    return true;
+  }
+  if (property == Slice("db.metrics.json")) {
+    *value = MetricsJsonLocked(*ver);
     return true;
   }
   if (property == Slice("db.sstables")) {
@@ -855,6 +1053,113 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
     return true;
   }
   return false;
+}
+
+std::string UniKVDB::MetricsTextLocked(const VersionData& ver) {
+  std::string result = metrics_.registry.ToString();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "-- background --\n"
+                "flushes=%" PRIu64 " merges=%" PRIu64 " scan_merges=%" PRIu64
+                " gcs=%" PRIu64 " splits=%" PRIu64 "\n"
+                "flush_mb=%.1f merge_read_mb=%.1f merge_write_mb=%.1f"
+                " gc_read_mb=%.1f gc_write_mb=%.1f\n"
+                "write_stalls=%" PRIu64 " stall_micros=%" PRIu64 "\n",
+                stats_.flushes, stats_.merges, stats_.scan_merges, stats_.gcs,
+                stats_.splits, stats_.flush_bytes / 1048576.0,
+                stats_.merge_bytes_read / 1048576.0,
+                stats_.merge_bytes_written / 1048576.0,
+                stats_.gc_bytes_read / 1048576.0,
+                stats_.gc_bytes_written / 1048576.0, stats_.write_stalls,
+                stats_.stall_micros);
+  result += buf;
+  result += "-- partitions --\n";
+  for (const auto& p : ver.partitions) {
+    uint64_t garbage = 0;
+    auto git = vlog_garbage_.find(p->id);
+    if (git != vlog_garbage_.end()) garbage = git->second;
+    const uint64_t vlog_bytes = p->VlogBytes();
+    std::snprintf(
+        buf, sizeof(buf),
+        "partition %u [%s..): unsorted=%zu/%.1fMB sorted=%zu/%.1fMB"
+        " logical=%.1fMB vlogs=%zu/%.1fMB garbage=%.1fMB (%.0f%%)\n",
+        p->id, p->lower_bound.empty() ? "-inf" : p->lower_bound.c_str(),
+        p->unsorted.size(), p->UnsortedBytes() / 1048576.0, p->sorted.size(),
+        p->SortedBytes() / 1048576.0, p->LogicalBytes() / 1048576.0,
+        p->vlogs.size(), vlog_bytes / 1048576.0, garbage / 1048576.0,
+        vlog_bytes == 0 ? 0.0 : 100.0 * garbage / vlog_bytes);
+    result += buf;
+  }
+  return result;
+}
+
+std::string UniKVDB::MetricsJsonLocked(const VersionData& ver) {
+  std::string partitions = "[";
+  bool first = true;
+  for (const auto& p : ver.partitions) {
+    if (!first) partitions += ',';
+    first = false;
+
+    uint64_t garbage = 0;
+    auto git = vlog_garbage_.find(p->id);
+    if (git != vlog_garbage_.end()) garbage = git->second;
+    const uint64_t vlog_bytes = p->VlogBytes();
+
+    uint64_t index_entries = 0, index_bytes = 0;
+    auto iit = indexes_.find(p->id);
+    if (iit != indexes_.end()) {
+      index_entries = iit->second->NumEntries();
+      index_bytes = iit->second->MemoryUsage();
+    }
+
+    PartitionCounters pc;
+    auto cit = partition_stats_.find(p->id);
+    if (cit != partition_stats_.end()) pc = cit->second;
+
+    JsonBuilder pj;
+    pj.AddUint("id", p->id);
+    pj.AddString("lower_bound", p->lower_bound);
+    pj.AddUint("unsorted_tables", p->unsorted.size());
+    pj.AddUint("unsorted_bytes", p->UnsortedBytes());
+    pj.AddUint("sorted_tables", p->sorted.size());
+    pj.AddUint("sorted_bytes", p->SortedBytes());
+    pj.AddUint("logical_bytes", p->LogicalBytes());
+    pj.AddUint("vlog_files", p->vlogs.size());
+    pj.AddUint("vlog_bytes", vlog_bytes);
+    pj.AddUint("vlog_garbage_bytes", garbage);
+    pj.AddDouble("garbage_ratio",
+                 vlog_bytes == 0 ? 0.0
+                                 : static_cast<double>(garbage) / vlog_bytes);
+    pj.AddUint("index_entries", index_entries);
+    pj.AddUint("index_bytes", index_bytes);
+    pj.AddUint("flushes", pc.flushes);
+    pj.AddUint("merges", pc.merges);
+    pj.AddUint("scan_merges", pc.scan_merges);
+    pj.AddUint("gcs", pc.gcs);
+    pj.AddUint("splits", pc.splits);
+    partitions += pj.Finish();
+  }
+  partitions += ']';
+
+  JsonBuilder stats;
+  stats.AddUint("flushes", stats_.flushes);
+  stats.AddUint("merges", stats_.merges);
+  stats.AddUint("scan_merges", stats_.scan_merges);
+  stats.AddUint("gcs", stats_.gcs);
+  stats.AddUint("splits", stats_.splits);
+  stats.AddUint("flush_bytes", stats_.flush_bytes);
+  stats.AddUint("merge_bytes_read", stats_.merge_bytes_read);
+  stats.AddUint("merge_bytes_written", stats_.merge_bytes_written);
+  stats.AddUint("gc_bytes_read", stats_.gc_bytes_read);
+  stats.AddUint("gc_bytes_written", stats_.gc_bytes_written);
+  stats.AddUint("write_stalls", stats_.write_stalls);
+  stats.AddUint("stall_micros", stats_.stall_micros);
+
+  JsonBuilder root;
+  root.AddRaw("engine", metrics_.registry.ToJson());
+  root.AddRaw("stats", stats.Finish());
+  root.AddRaw("partitions", partitions);
+  return root.Finish();
 }
 
 }  // namespace unikv

@@ -16,6 +16,9 @@
 #include "core/version.h"
 #include "index/hash_index.h"
 #include "mem/memtable.h"
+#include "util/event_logger.h"
+#include "util/metrics.h"
+#include "util/perf_context.h"
 #include "util/thread_pool.h"
 #include "vlog/value_log.h"
 #include "wal/log_writer.h"
@@ -37,6 +40,78 @@ struct UniKVStats {
   uint64_t merge_bytes_read = 0;
   uint64_t gc_bytes_written = 0;
   uint64_t gc_bytes_read = 0;
+  /// Write-stall visibility: episodes where MakeRoomForWrite had to wait
+  /// for an in-flight flush, and the total time writers spent waiting.
+  uint64_t write_stalls = 0;
+  uint64_t stall_micros = 0;
+};
+
+/// Background work done on behalf of one partition (guarded by the DB
+/// mutex; reported per partition through db.metrics[.json]).
+struct PartitionCounters {
+  uint64_t flushes = 0;
+  uint64_t merges = 0;
+  uint64_t scan_merges = 0;
+  uint64_t gcs = 0;
+  uint64_t splits = 0;
+};
+
+/// The engine-wide metrics surface: a MetricsRegistry plus cached pointers
+/// to the hot-path counters/histograms, so instrumented paths never pay a
+/// map lookup. Counters are folded in from the thread-local PerfContext
+/// after each operation and after each background job; value-log reads are
+/// wired directly (they can run on thread-pool workers).
+struct EngineMetrics {
+  EngineMetrics();
+
+  /// Adds a PerfContext delta into the engine counters. Skips the vlog_*
+  /// fields (counted at source via ValueLogCache::SetCounters, which sees
+  /// all threads).
+  void FoldPerf(const PerfContext& d);
+
+  MetricsRegistry registry;
+
+  // Read path.
+  Counter* gets;
+  Counter* memtable_hits;
+  Counter* hash_index_lookups;
+  Counter* hash_index_probes;
+  Counter* hash_index_candidates;
+  Counter* bloom_checks;
+  Counter* bloom_negatives;
+  Counter* bloom_false_positives;
+  Counter* unsorted_tables_probed;
+  Counter* sorted_seeks;
+  Counter* table_cache_hits;
+  Counter* table_cache_misses;
+  Counter* block_cache_hits;
+  Counter* block_cache_misses;
+  Counter* block_reads;
+  Counter* vlog_reads;
+  Counter* vlog_span_reads;
+  Counter* vlog_read_bytes;
+
+  // Write path.
+  Counter* writes;
+  Counter* write_bytes;
+  Counter* write_stalls;
+  Counter* stall_micros;
+  Counter* wal_micros_total;
+  Counter* memtable_micros_total;
+
+  // Scans.
+  Counter* scans;
+  Counter* scan_entries;
+
+  // Operation and background-job latencies (microseconds).
+  ConcurrentHistogram* get_latency;
+  ConcurrentHistogram* write_latency;
+  ConcurrentHistogram* scan_latency;
+  ConcurrentHistogram* flush_latency;
+  ConcurrentHistogram* merge_latency;
+  ConcurrentHistogram* scan_merge_latency;
+  ConcurrentHistogram* gc_latency;
+  ConcurrentHistogram* split_latency;
 };
 
 /// The UniKV store: differentiated indexing (hash-indexed UnsortedStore +
@@ -75,6 +150,26 @@ class UniKVDB : public DB {
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
   WriteBatch* BuildBatchGroup(Writer** last_writer);
   Status SwitchWal();
+
+  /// Uninstrumented bodies of Write/Scan; the public entry points wrap
+  /// them with PerfContext accounting (one fold per op regardless of
+  /// which internal return path fires).
+  Status WriteImpl(const WriteOptions& options, WriteBatch* updates);
+  Status ScanImpl(const ReadOptions& options, const Slice& start, int count,
+                  std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Batched PerfContext -> MetricsRegistry folding. Folding the delta on
+  /// every op costs ~25 atomic RMWs, which roughly doubles the latency of
+  /// a negative point lookup; instead each foreground op calls PerfEndOp
+  /// on completion and the accumulated delta is pushed into the registry
+  /// once per kPerfFoldBatch ops (plus whenever the calling thread reads
+  /// the metrics properties, via FlushPerfPending). Pending deltas are
+  /// abandoned — never folded — when the thread switches to a different
+  /// DB (the old registry may already be destroyed) or when the user
+  /// Reset() the context, so the registry can momentarily lag the
+  /// thread-local context by at most one batch.
+  void PerfEndOp(PerfContext* perf);
+  void FlushPerfPending();
 
   enum class WorkKind {
     kNone,
@@ -116,6 +211,10 @@ class UniKVDB : public DB {
   void RemoveObsoleteFiles();
   void RecordBackgroundError(const Status& s);
 
+  /// Renders `db.metrics` / `db.metrics.json`. Requires mu_ held.
+  std::string MetricsTextLocked(const VersionData& ver);
+  std::string MetricsJsonLocked(const VersionData& ver);
+
   Status GetFromUnsorted(const PartitionState& p,
                          std::vector<uint16_t> candidates,
                          const LookupKey& lkey, std::string* value,
@@ -132,6 +231,8 @@ class UniKVDB : public DB {
   const std::string dbname_;
   Env* env_;
   InternalKeyComparator icmp_;
+  EngineMetrics metrics_;  // Before the caches that hold counter pointers.
+  std::unique_ptr<EventLogger> event_log_;
   std::unique_ptr<Cache> block_cache_;
   std::unique_ptr<TableCache> table_cache_;
   std::unique_ptr<ValueLogCache> vlog_cache_;
@@ -156,6 +257,7 @@ class UniKVDB : public DB {
   std::unordered_map<uint32_t, std::shared_ptr<HashIndex>> indexes_;
   std::unordered_map<uint32_t, uint64_t> vlog_garbage_;
   std::unordered_map<uint32_t, int> flushes_since_checkpoint_;
+  std::unordered_map<uint32_t, PartitionCounters> partition_stats_;
 
   std::set<uint64_t> pending_outputs_;
   Status bg_error_;

@@ -2,6 +2,7 @@
 
 #include "util/coding.h"
 #include "util/hash.h"
+#include "util/perf_context.h"
 
 namespace unikv {
 
@@ -55,16 +56,21 @@ void HashIndex::Insert(const Slice& user_key, uint16_t table_id) {
 
 void HashIndex::Lookup(const Slice& user_key,
                        std::vector<uint16_t>* candidates) const {
+  PerfContext* perf = GetPerfContext();
+  perf->hash_index_lookups++;
+  const size_t candidates_before = candidates->size();
   const uint16_t tag = KeyTag(user_key);
   // Scan candidate buckets h_n .. h_1 (reverse of insertion probing), each
   // bucket's overflow chain (newest first) before its inline slot.
   for (int i = num_hashes_ - 1; i >= 0; i--) {
     const Bucket& b = buckets_[BucketFor(user_key, i)];
+    perf->hash_index_probes++;
     // Overflow chains only hang off the last candidate bucket.
     if (i == num_hashes_ - 1) {
       uint32_t cur = b.overflow_head;
       while (cur != kNoOverflow) {
         const OverflowEntry& e = overflow_[cur];
+        perf->hash_index_probes++;
         if (e.key_tag == tag) {
           candidates->push_back(e.table_id);
         }
@@ -75,6 +81,7 @@ void HashIndex::Lookup(const Slice& user_key,
       candidates->push_back(b.table_id);
     }
   }
+  perf->hash_index_candidates += candidates->size() - candidates_before;
 }
 
 void HashIndex::Clear() {

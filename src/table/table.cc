@@ -8,6 +8,7 @@
 #include "table/format.h"
 #include "util/coding.h"
 #include "util/env.h"
+#include "util/perf_context.h"
 
 namespace unikv {
 
@@ -76,7 +77,11 @@ Table::~Table() { delete rep_; }
 
 bool Table::KeyMayMatch(const Slice& user_key) const {
   if (rep_->filter_data.empty()) return true;
-  return BloomFilterMayMatch(user_key, Slice(rep_->filter_data));
+  PerfContext* perf = GetPerfContext();
+  perf->bloom_checks++;
+  const bool may = BloomFilterMayMatch(user_key, Slice(rep_->filter_data));
+  if (!may) perf->bloom_negatives++;
+  return may;
 }
 
 static void DeleteCachedBlock(const Slice& /*key*/, void* value) {
@@ -102,8 +107,12 @@ Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
     Slice key(cache_key_buffer, sizeof(cache_key_buffer));
     cache_handle = r->block_cache->Lookup(key);
     if (cache_handle != nullptr) {
+      GetPerfContext()->block_cache_hits++;
       block = reinterpret_cast<Block*>(r->block_cache->Value(cache_handle));
     } else {
+      PerfContext* perf = GetPerfContext();
+      perf->block_cache_misses++;
+      perf->block_reads++;
       BlockContents contents;
       Status s = ReadBlock(r->file.get(), handle, &contents);
       if (!s.ok()) return NewErrorIterator(s);
@@ -114,6 +123,7 @@ Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
       }
     }
   } else {
+    GetPerfContext()->block_reads++;
     BlockContents contents;
     Status s = ReadBlock(r->file.get(), handle, &contents);
     if (!s.ok()) return NewErrorIterator(s);
@@ -297,6 +307,14 @@ Status Table::Get(const Slice& internal_key, bool* found, std::string* key_out,
     s = index_iter->status();
   }
   delete index_iter;
+  if (s.ok() && !rep_->filter_data.empty()) {
+    // Callers consult KeyMayMatch before Get on filtered tables, so a
+    // seek that lands past the sought user key means the filter lied.
+    if (!*found ||
+        ExtractUserKey(Slice(*key_out)) != ExtractUserKey(internal_key)) {
+      GetPerfContext()->bloom_false_positives++;
+    }
+  }
   return s;
 }
 

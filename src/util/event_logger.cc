@@ -1,0 +1,40 @@
+#include "util/event_logger.h"
+
+namespace unikv {
+
+EventLogger::EventLogger(Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+EventLogger::~EventLogger() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    file_->Close();
+  }
+}
+
+void EventLogger::Log(const Slice& event_name, JsonBuilder* event) {
+  event->AddString("event", event_name);
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disabled_) return;
+    if (!opened_) {
+      opened_ = true;
+      Status s = env_->NewAppendableFile(dir_ + "/" + kFileName, &file_);
+      if (!s.ok()) {
+        disabled_ = true;
+        return;
+      }
+    }
+    event->AddUint("ts_micros", env_->NowMicros());
+    line = event->Finish();
+    line.push_back('\n');
+    if (!file_->Append(line).ok() || !file_->Flush().ok()) {
+      disabled_ = true;
+      file_->Close();
+      file_.reset();
+    }
+  }
+}
+
+}  // namespace unikv

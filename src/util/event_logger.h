@@ -1,0 +1,54 @@
+#ifndef UNIKV_UTIL_EVENT_LOGGER_H_
+#define UNIKV_UTIL_EVENT_LOGGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/env.h"
+#include "util/metrics.h"
+
+namespace unikv {
+
+/// Structured background-event log: one JSON object per line, appended to
+/// `<dir>/EVENTS`. Flush/merge/scan-merge/GC/split jobs log their
+/// duration, bytes in/out, and resulting file counts here, so perf work
+/// can reconstruct what the engine did without a debugger.
+///
+/// The file is opened lazily on the first event (the DB directory may not
+/// exist when the logger is constructed) and opened for append so event
+/// history survives reopen. Logging failures disable the logger rather
+/// than failing the job that reported the event. Thread-safe.
+class EventLogger {
+ public:
+  static constexpr const char* kFileName = "EVENTS";
+
+  EventLogger(Env* env, std::string dir);
+  ~EventLogger();
+
+  EventLogger(const EventLogger&) = delete;
+  EventLogger& operator=(const EventLogger&) = delete;
+
+  /// Stamps `event` with the event name and a `ts_micros` wall-clock
+  /// field, then appends the finished object as one line. Consumes the
+  /// builder.
+  void Log(const Slice& event_name, JsonBuilder* event);
+
+  /// True once logging has permanently failed (or before the first Log).
+  bool disabled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return disabled_;
+  }
+
+ private:
+  Env* const env_;
+  const std::string dir_;
+  mutable std::mutex mu_;
+  bool opened_ = false;
+  bool disabled_ = false;
+  std::unique_ptr<WritableFile> file_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_EVENT_LOGGER_H_

@@ -1,0 +1,204 @@
+#include "util/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace unikv {
+
+// ---------------------------------------------------- ConcurrentHistogram
+
+void ConcurrentHistogram::Add(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.Add(value);
+}
+
+void ConcurrentHistogram::Merge(const Histogram& other) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.Merge(other);
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_;
+}
+
+void ConcurrentHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.Clear();
+}
+
+// ------------------------------------------------------------ JsonBuilder
+
+void JsonBuilder::AppendEscaped(std::string* dst, const Slice& s) {
+  dst->push_back('"');
+  for (size_t i = 0; i < s.size(); i++) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    switch (c) {
+      case '"':
+        dst->append("\\\"");
+        break;
+      case '\\':
+        dst->append("\\\\");
+        break;
+      case '\n':
+        dst->append("\\n");
+        break;
+      case '\r':
+        dst->append("\\r");
+        break;
+      case '\t':
+        dst->append("\\t");
+        break;
+      default:
+        if (c < 0x20 || c >= 0x7F) {
+          // Escape control and non-ASCII bytes; user keys are arbitrary
+          // binary and must not corrupt the JSON line.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          dst->append(buf);
+        } else {
+          dst->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  dst->push_back('"');
+}
+
+void JsonBuilder::Key(const Slice& key) {
+  if (!first_) out_.push_back(',');
+  first_ = false;
+  AppendEscaped(&out_, key);
+  out_.push_back(':');
+}
+
+void JsonBuilder::AddUint(const Slice& key, uint64_t v) {
+  Key(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_.append(buf);
+}
+
+void JsonBuilder::AddInt(const Slice& key, int64_t v) {
+  Key(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_.append(buf);
+}
+
+void JsonBuilder::AddDouble(const Slice& key, double v) {
+  Key(key);
+  if (!std::isfinite(v)) {
+    out_.append("0");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_.append(buf);
+}
+
+void JsonBuilder::AddBool(const Slice& key, bool v) {
+  Key(key);
+  out_.append(v ? "true" : "false");
+}
+
+void JsonBuilder::AddString(const Slice& key, const Slice& v) {
+  Key(key);
+  AppendEscaped(&out_, v);
+}
+
+void JsonBuilder::AddRaw(const Slice& key, const Slice& raw) {
+  Key(key);
+  out_.append(raw.data(), raw.size());
+}
+
+std::string JsonBuilder::Finish() {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+ConcurrentHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<ConcurrentHistogram>();
+  return slot.get();
+}
+
+size_t MetricsRegistry::NumCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%-28s %" PRIu64 "\n", name.c_str(),
+                  c->Value());
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%-28s %" PRId64 "\n", name.c_str(),
+                  g->Value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    Histogram snap = h->Snapshot();
+    if (snap.Count() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s count=%" PRIu64 " avg=%.1f p50=%.1f p99=%.1f"
+                  " max=%.1f\n",
+                  name.c_str(), snap.Count(), snap.Average(),
+                  snap.Percentile(50), snap.Percentile(99), snap.Max());
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonBuilder counters;
+  for (const auto& [name, c] : counters_) {
+    counters.AddUint(name, c->Value());
+  }
+  JsonBuilder gauges;
+  for (const auto& [name, g] : gauges_) {
+    gauges.AddInt(name, g->Value());
+  }
+  JsonBuilder hists;
+  for (const auto& [name, h] : histograms_) {
+    Histogram snap = h->Snapshot();
+    JsonBuilder one;
+    one.AddUint("count", snap.Count());
+    one.AddDouble("avg", snap.Average());
+    one.AddDouble("p50", snap.Percentile(50));
+    one.AddDouble("p95", snap.Percentile(95));
+    one.AddDouble("p99", snap.Percentile(99));
+    one.AddDouble("max", snap.Count() > 0 ? snap.Max() : 0);
+    hists.AddRaw(name, one.Finish());
+  }
+  JsonBuilder root;
+  root.AddRaw("counters", counters.Finish());
+  root.AddRaw("gauges", gauges.Finish());
+  root.AddRaw("histograms", hists.Finish());
+  return root.Finish();
+}
+
+}  // namespace unikv

@@ -1,0 +1,115 @@
+#ifndef UNIKV_UTIL_METRICS_H_
+#define UNIKV_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+#include "util/slice.h"
+
+namespace unikv {
+
+/// Monotonic event counter. The hot path is a single relaxed fetch_add:
+/// no ordering is implied between counters, which is fine because they
+/// are only ever read for reporting.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Inc() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// An instantaneous value that can move both ways (e.g. live file count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Thread-safe wrapper around Histogram: Add() takes an uncontended
+/// mutex (tens of ns, off the read fast path — used for operation and
+/// background-job latencies), Snapshot() copies out a consistent view.
+class ConcurrentHistogram {
+ public:
+  void Add(double value);
+  void Merge(const Histogram& other);
+  Histogram Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// Minimal one-object JSON emitter shared by `db.metrics.json` and the
+/// EVENTS logger. Produces {"k":v,...}; nested objects/arrays are added
+/// pre-rendered via AddRaw.
+class JsonBuilder {
+ public:
+  JsonBuilder() : out_("{") {}
+
+  void AddUint(const Slice& key, uint64_t v);
+  void AddInt(const Slice& key, int64_t v);
+  void AddDouble(const Slice& key, double v);
+  void AddBool(const Slice& key, bool v);
+  void AddString(const Slice& key, const Slice& v);
+  /// Adds `raw` verbatim as the value (must itself be valid JSON).
+  void AddRaw(const Slice& key, const Slice& raw);
+
+  /// Closes the object and returns it. The builder is spent afterwards.
+  std::string Finish();
+
+  /// Appends `s` to *dst as a quoted JSON string with escaping.
+  static void AppendEscaped(std::string* dst, const Slice& s);
+
+ private:
+  void Key(const Slice& key);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Named counters/gauges/histograms for one engine instance. Lookup by
+/// name happens once at registration; returned pointers are stable for
+/// the registry's lifetime, so hot paths hold raw pointers and never
+/// touch the map again.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  ConcurrentHistogram* GetHistogram(const std::string& name);
+
+  size_t NumCounters() const;
+
+  /// Human-readable dump, one metric per line.
+  std::string ToString() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ConcurrentHistogram>> histograms_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_METRICS_H_

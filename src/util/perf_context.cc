@@ -1,0 +1,69 @@
+#include "util/perf_context.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace unikv {
+
+namespace internal {
+constinit thread_local PerfContext tls_perf_context;
+}  // namespace internal
+
+namespace {
+
+// Applies `fn(name, member_pointer)` to every PerfContext field, so the
+// delta/print logic cannot drift from the field list.
+template <typename Fn>
+void ForEachField(Fn fn) {
+  fn("gets", &PerfContext::gets);
+  fn("writes", &PerfContext::writes);
+  fn("scans", &PerfContext::scans);
+  fn("memtable_hits", &PerfContext::memtable_hits);
+  fn("hash_index_lookups", &PerfContext::hash_index_lookups);
+  fn("hash_index_probes", &PerfContext::hash_index_probes);
+  fn("hash_index_candidates", &PerfContext::hash_index_candidates);
+  fn("bloom_checks", &PerfContext::bloom_checks);
+  fn("bloom_negatives", &PerfContext::bloom_negatives);
+  fn("bloom_false_positives", &PerfContext::bloom_false_positives);
+  fn("unsorted_tables_probed", &PerfContext::unsorted_tables_probed);
+  fn("sorted_seeks", &PerfContext::sorted_seeks);
+  fn("table_cache_hits", &PerfContext::table_cache_hits);
+  fn("table_cache_misses", &PerfContext::table_cache_misses);
+  fn("block_cache_hits", &PerfContext::block_cache_hits);
+  fn("block_cache_misses", &PerfContext::block_cache_misses);
+  fn("block_reads", &PerfContext::block_reads);
+  fn("vlog_reads", &PerfContext::vlog_reads);
+  fn("vlog_span_reads", &PerfContext::vlog_span_reads);
+  fn("vlog_read_bytes", &PerfContext::vlog_read_bytes);
+  fn("get_micros", &PerfContext::get_micros);
+  fn("write_micros", &PerfContext::write_micros);
+  fn("write_wal_micros", &PerfContext::write_wal_micros);
+  fn("write_memtable_micros", &PerfContext::write_memtable_micros);
+  fn("write_stall_micros", &PerfContext::write_stall_micros);
+  fn("scan_micros", &PerfContext::scan_micros);
+}
+
+}  // namespace
+
+PerfContext PerfContext::DeltaSince(const PerfContext& before) const {
+  PerfContext d;
+  ForEachField([&](const char* /*name*/, uint64_t PerfContext::*field) {
+    d.*field = this->*field - before.*field;
+  });
+  return d;
+}
+
+std::string PerfContext::ToString(bool include_zeros) const {
+  std::string out;
+  char buf[64];
+  ForEachField([&](const char* name, uint64_t PerfContext::*field) {
+    const uint64_t v = this->*field;
+    if (v == 0 && !include_zeros) return;
+    std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 " ", name, v);
+    out += buf;
+  });
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace unikv

@@ -3,6 +3,7 @@
 #include "core/filename.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
+#include "util/perf_context.h"
 
 namespace unikv {
 
@@ -87,6 +88,11 @@ Status ValueLogCache::GetFile(const ValuePointer& ptr,
 
 Status ValueLogCache::Get(const ValuePointer& ptr, std::string* value,
                           std::string* stored_key) {
+  PerfContext* perf = GetPerfContext();
+  perf->vlog_reads++;
+  perf->vlog_read_bytes += ptr.size;
+  if (reads_counter_ != nullptr) reads_counter_->Inc();
+  if (read_bytes_counter_ != nullptr) read_bytes_counter_->Add(ptr.size);
   std::shared_ptr<RandomAccessFile> file;
   Status s = GetFile(ptr, &file);
   if (!s.ok()) return s;
@@ -111,6 +117,11 @@ Status ValueLogCache::Get(const ValuePointer& ptr, std::string* value,
 
 Status ValueLogCache::GetSpan(uint64_t log_number, uint64_t offset,
                               size_t size, std::string* buffer) {
+  PerfContext* perf = GetPerfContext();
+  perf->vlog_span_reads++;
+  perf->vlog_read_bytes += size;
+  if (span_reads_counter_ != nullptr) span_reads_counter_->Inc();
+  if (read_bytes_counter_ != nullptr) read_bytes_counter_->Add(size);
   ValuePointer ptr;
   ptr.log_number = log_number;
   std::shared_ptr<RandomAccessFile> file;

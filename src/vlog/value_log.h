@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -74,6 +75,16 @@ class ValueLogCache {
   /// `dir_for_partition(p)` maps a partition id to its directory.
   ValueLogCache(Env* env, std::string dbname);
 
+  /// Wires engine-wide read counters (owned by the DB's MetricsRegistry).
+  /// Unlike the thread-local PerfContext — which only sees the calling
+  /// thread — these capture fetches issued from thread-pool workers during
+  /// scans and GC. All three may be null (counting disabled).
+  void SetCounters(Counter* reads, Counter* span_reads, Counter* read_bytes) {
+    reads_counter_ = reads;
+    span_reads_counter_ = span_reads;
+    read_bytes_counter_ = read_bytes;
+  }
+
   /// Fetches the record at *ptr, verifies it, and stores the value bytes
   /// in *value (and optionally the stored key for validation).
   Status Get(const ValuePointer& ptr, std::string* value,
@@ -98,6 +109,9 @@ class ValueLogCache {
 
   Env* env_;
   std::string dbname_;
+  Counter* reads_counter_ = nullptr;
+  Counter* span_reads_counter_ = nullptr;
+  Counter* read_bytes_counter_ = nullptr;
   std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<RandomAccessFile>> files_;
 };

@@ -1,0 +1,195 @@
+// End-to-end tests of the engine metrics surface: PerfContext tracing
+// through Get/Put/Scan, the db.metrics / db.metrics.json properties, and
+// GetProperty's contract over known and unknown names.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/db.h"
+#include "test_util.h"
+#include "util/perf_context.h"
+
+namespace unikv {
+namespace {
+
+Options SmallOptions() {
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 128 * 1024;
+  opt.partition_size_limit = 4 * 1024 * 1024;
+  opt.sorted_table_size = 64 * 1024;
+  opt.gc_garbage_threshold = 128 * 1024;
+  return opt;
+}
+
+class DbMetricsTest : public testing::Test {
+ protected:
+  void OpenDb(const Options& opt, const std::string& suffix = "") {
+    dir_ = test::NewTestDir("db_metrics_test" + suffix);
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(opt, dir_, &raw).ok());
+    db_.reset(raw);
+  }
+
+  // Loads enough data that both stores are populated: flushed tables in
+  // the UnsortedStore and (after CompactAll) a merged SortedStore.
+  void LoadBothStores() {
+    for (int i = 0; i < 1500; i++) {
+      ASSERT_TRUE(
+          db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 256))
+              .ok());
+    }
+    ASSERT_TRUE(db_->CompactAll().ok());  // -> SortedStore.
+    for (int i = 1500; i < 2000; i++) {
+      ASSERT_TRUE(
+          db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 256))
+              .ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable().ok());  // -> UnsortedStore tables.
+  }
+
+  std::string dir_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbMetricsTest, GetThroughBothStoresBumpsCounters) {
+  OpenDb(SmallOptions());
+  LoadBothStores();
+
+  PerfContext* perf = GetPerfContext();
+  perf->Reset();
+
+  // A key now living in the UnsortedStore: the hash index must be probed
+  // and at least one unsorted table touched.
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(1600), &value).ok());
+  EXPECT_EQ(value, test::TestValue(1600, 256));
+  EXPECT_EQ(perf->gets, 1u);
+  EXPECT_GE(perf->hash_index_lookups, 1u);
+  EXPECT_GE(perf->hash_index_probes, 1u);
+  EXPECT_GE(perf->unsorted_tables_probed, 1u);
+
+  PerfContext before = *perf;
+  // A key living only in the SortedStore: one binary-searched table seek.
+  ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(10), &value).ok());
+  EXPECT_EQ(value, test::TestValue(10, 256));
+  PerfContext d = perf->DeltaSince(before);
+  EXPECT_EQ(d.gets, 1u);
+  EXPECT_GE(d.sorted_seeks, 1u);
+
+  // The same activity must be visible in the engine-wide registry.
+  std::string json;
+  ASSERT_TRUE(db_->GetProperty("db.metrics.json", &json));
+  EXPECT_NE(json.find("\"gets\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"gets\":0,"), std::string::npos) << json;
+}
+
+TEST_F(DbMetricsTest, MetricsJsonIsParseableAndComplete) {
+  OpenDb(SmallOptions(), "_json");
+  LoadBothStores();
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(1), &value).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db_->Scan(ReadOptions(), test::TestKey(0), 50, &out).ok());
+
+  std::string json;
+  ASSERT_TRUE(db_->GetProperty("db.metrics.json", &json));
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+
+  // Top-level sections.
+  EXPECT_NE(json.find("\"engine\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":"), std::string::npos);
+  EXPECT_NE(json.find("\"partitions\":["), std::string::npos);
+
+  // At least 10 engine counters are reported by name.
+  const char* counters[] = {
+      "\"gets\"",          "\"writes\"",       "\"scans\"",
+      "\"memtable_hits\"", "\"hash_index_lookups\"",
+      "\"hash_index_probes\"", "\"unsorted_tables_probed\"",
+      "\"sorted_seeks\"",  "\"table_cache_hits\"",
+      "\"vlog_reads\"",    "\"write_bytes\"",  "\"bloom_checks\""};
+  int present = 0;
+  for (const char* name : counters) {
+    if (json.find(name) != std::string::npos) present++;
+  }
+  EXPECT_GE(present, 10) << json;
+
+  // Per-partition stats carry structural fields and job counters.
+  EXPECT_NE(json.find("\"unsorted_tables\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sorted_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"vlog_garbage_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"garbage_ratio\":"), std::string::npos);
+  EXPECT_NE(json.find("\"index_entries\":"), std::string::npos);
+  EXPECT_NE(json.find("\"flushes\":"), std::string::npos);
+
+  // Stall fields (satellite of the write-path instrumentation).
+  EXPECT_NE(json.find("\"write_stalls\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_micros\":"), std::string::npos);
+}
+
+TEST_F(DbMetricsTest, MetricsTextProperty) {
+  OpenDb(SmallOptions(), "_text");
+  LoadBothStores();
+  std::string text;
+  ASSERT_TRUE(db_->GetProperty("db.metrics", &text));
+  EXPECT_NE(text.find("writes"), std::string::npos);
+  EXPECT_NE(text.find("-- partitions --"), std::string::npos);
+  EXPECT_NE(text.find("partition"), std::string::npos);
+}
+
+TEST_F(DbMetricsTest, GetPropertyContract) {
+  OpenDb(SmallOptions(), "_prop");
+  LoadBothStores();
+
+  // Unknown names return false and leave no obligation on *value.
+  std::string value;
+  EXPECT_FALSE(db_->GetProperty("db.no-such-property", &value));
+  EXPECT_FALSE(db_->GetProperty("", &value));
+  EXPECT_FALSE(db_->GetProperty("db.metrics.jso", &value));
+  EXPECT_FALSE(db_->GetProperty("db.metrics.jsonx", &value));
+
+  // Every supported name returns true with non-empty output.
+  const char* props[] = {"db.num-partitions", "db.hash-index-bytes",
+                         "db.hash-index-entries", "db.num-files",
+                         "db.stats",          "db.sstables",
+                         "db.table-accesses", "db.metrics",
+                         "db.metrics.json"};
+  for (const char* p : props) {
+    value.clear();
+    EXPECT_TRUE(db_->GetProperty(p, &value)) << p;
+    EXPECT_FALSE(value.empty()) << p;
+  }
+
+  // db.stats now reports write-stall visibility.
+  ASSERT_TRUE(db_->GetProperty("db.stats", &value));
+  EXPECT_NE(value.find("write_stalls="), std::string::npos);
+  EXPECT_NE(value.find("stall_micros="), std::string::npos);
+}
+
+TEST_F(DbMetricsTest, ScanAndWriteCountersAdvance) {
+  OpenDb(SmallOptions(), "_ops");
+  PerfContext* perf = GetPerfContext();
+  perf->Reset();
+
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 64))
+            .ok());
+  }
+  EXPECT_EQ(perf->writes, 100u);
+  EXPECT_GT(perf->write_memtable_micros + perf->write_wal_micros +
+                perf->write_micros,
+            0u);
+
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db_->Scan(ReadOptions(), test::TestKey(0), 10, &out).ok());
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(perf->scans, 1u);
+  perf->Reset();
+}
+
+}  // namespace
+}  // namespace unikv

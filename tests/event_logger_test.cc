@@ -1,0 +1,153 @@
+// Tests for the structured event logger: standalone JSON-line behavior,
+// and end-to-end coverage that UniKV background jobs (flush, merge, GC)
+// each append one well-formed JSON event with a measured duration to
+// <dbname>/EVENTS.
+
+#include "util/event_logger.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/db.h"
+#include "test_util.h"
+
+namespace unikv {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return lines;
+  std::string current;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>(c));
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  std::fclose(f);
+  return lines;
+}
+
+TEST(EventLoggerTest, WritesOneJsonObjectPerLine) {
+  std::string dir = test::NewTestDir("event_logger");
+  EventLogger logger(Env::Default(), dir);
+
+  for (int i = 0; i < 3; i++) {
+    JsonBuilder ev;
+    ev.AddUint("round", i);
+    ev.AddString("note", "hello \"world\"\n");
+    logger.Log("unit_test", &ev);
+  }
+  EXPECT_FALSE(logger.disabled());
+
+  std::vector<std::string> lines =
+      ReadLines(dir + "/" + EventLogger::kFileName);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(test::IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"event\":\"unit_test\""), std::string::npos);
+    EXPECT_NE(line.find("\"ts_micros\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[2].find("\"round\":2"), std::string::npos);
+}
+
+TEST(EventLoggerTest, AppendsAcrossLoggerInstances) {
+  std::string dir = test::NewTestDir("event_logger_append");
+  {
+    EventLogger logger(Env::Default(), dir);
+    JsonBuilder ev;
+    logger.Log("first", &ev);
+  }
+  {
+    EventLogger logger(Env::Default(), dir);
+    JsonBuilder ev;
+    logger.Log("second", &ev);
+  }
+  std::vector<std::string> lines =
+      ReadLines(dir + "/" + EventLogger::kFileName);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("first"), std::string::npos);
+  EXPECT_NE(lines[1].find("second"), std::string::npos);
+}
+
+TEST(EventLoggerTest, DisabledOnUnwritableDir) {
+  // A directory that cannot be created (parent missing).
+  EventLogger logger(Env::Default(),
+                     "/nonexistent-unikv-root/sub/dir");
+  JsonBuilder ev;
+  logger.Log("ignored", &ev);
+  EXPECT_TRUE(logger.disabled());
+  // Further logging is a silent no-op, not a crash.
+  JsonBuilder ev2;
+  logger.Log("ignored2", &ev2);
+}
+
+TEST(EventLoggerTest, DbBackgroundJobsEmitEvents) {
+  std::string dir = test::NewTestDir("event_logger_db");
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 128 * 1024;
+  opt.sorted_table_size = 64 * 1024;
+  opt.gc_garbage_threshold = 64 * 1024;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(opt, dir, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  // Write enough (with overwrites, so merges create vlog garbage and GC
+  // has work) to force flushes and merges, then drain everything.
+  const int kKeys = 2000;
+  for (int round = 0; round < 2; round++) {
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), test::TestKey(i),
+                          test::TestValue(i ^ round, 256))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+
+  std::vector<std::string> lines =
+      ReadLines(dir + "/" + EventLogger::kFileName);
+  ASSERT_FALSE(lines.empty());
+
+  int flushes = 0, merges = 0;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(test::IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"duration_micros\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"ts_micros\":"), std::string::npos) << line;
+    if (line.find("\"event\":\"flush\"") != std::string::npos) flushes++;
+    if (line.find("\"event\":\"merge\"") != std::string::npos) merges++;
+  }
+  EXPECT_GT(flushes, 0);
+  EXPECT_GT(merges, 0);
+
+  // The event counts match what db.stats reports: one line per job.
+  std::string stats;
+  ASSERT_TRUE(db->GetProperty("db.stats", &stats));
+  EXPECT_NE(stats.find("flushes=" + std::to_string(flushes)),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find(" merges=" + std::to_string(merges)),
+            std::string::npos)
+      << stats;
+
+  // EVENTS must survive RemoveObsoleteFiles (it is not a tracked file
+  // type) and reopen.
+  db.reset();
+  ASSERT_TRUE(DB::Open(opt, dir, &raw).ok());
+  db.reset(raw);
+  EXPECT_TRUE(Env::Default()->FileExists(dir + "/" +
+                                         EventLogger::kFileName));
+}
+
+}  // namespace
+}  // namespace unikv

@@ -1,0 +1,215 @@
+// Unit tests for the metrics subsystem: counters, gauges, histograms,
+// the registry, the JSON emitter, and the thread-local PerfContext.
+//
+// Deliberately DB-free: this file is also compiled into metrics_tsan_test
+// with only the util/ sources under -fsanitize=thread, so the concurrency
+// tests double as a race check on the lock-free counters.
+
+#include "util/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/perf_context.h"
+
+namespace unikv {
+namespace {
+
+TEST(CounterTest, Basics) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrements) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; i++) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(20);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST(ConcurrentHistogramTest, ConcurrentAdds) {
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 20000;
+  ConcurrentHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kAdds; i++) h.Add(t * 1000 + i % 100);
+    });
+  }
+  for (auto& t : threads) t.join();
+  Histogram snap = h.Snapshot();
+  EXPECT_EQ(snap.Count(), static_cast<uint64_t>(kThreads) * kAdds);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().Count(), 0u);
+}
+
+TEST(MetricsRegistryTest, StablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Add(7);
+  EXPECT_EQ(reg.GetCounter("x")->Value(), 7u);
+  EXPECT_NE(reg.GetCounter("y"), a);
+  EXPECT_EQ(reg.NumCounters(), 2u);
+  EXPECT_EQ(reg.GetGauge("g"), reg.GetGauge("g"));
+  EXPECT_EQ(reg.GetHistogram("h"), reg.GetHistogram("h"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistration) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 100; i++) {
+        reg.GetCounter("shared" + std::to_string(i % 10))->Inc();
+        reg.GetHistogram("hist")->Add(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (int i = 0; i < 10; i++) {
+    total += reg.GetCounter("shared" + std::to_string(i))->Value();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * 100);
+}
+
+TEST(MetricsRegistryTest, ToStringAndJson) {
+  MetricsRegistry reg;
+  reg.GetCounter("reads")->Add(3);
+  reg.GetGauge("depth")->Set(-2);
+  reg.GetHistogram("lat")->Add(10.0);
+
+  std::string text = reg.ToString();
+  EXPECT_NE(text.find("reads"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+
+  std::string json = reg.ToJson();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"reads\":3"), std::string::npos);
+}
+
+TEST(JsonBuilderTest, TypesAndEscaping) {
+  JsonBuilder b;
+  b.AddUint("u", 18446744073709551615ull);
+  b.AddInt("i", -5);
+  b.AddDouble("d", 0.5);
+  b.AddBool("t", true);
+  b.AddString("s", "quote\" backslash\\ newline\n ctrl\x01");
+  b.AddRaw("nested", "{\"k\":[1,2]}");
+  std::string out = b.Finish();
+  EXPECT_TRUE(test::IsValidJson(out)) << out;
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\\\"), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonBuilderTest, EmptyObject) {
+  JsonBuilder b;
+  std::string out = b.Finish();
+  EXPECT_EQ(out, "{}");
+  EXPECT_TRUE(test::IsValidJson(out));
+}
+
+TEST(PerfContextTest, ResetAndAccumulate) {
+  PerfContext* perf = GetPerfContext();
+  perf->Reset();
+  EXPECT_EQ(perf->gets, 0u);
+  perf->gets += 2;
+  perf->hash_index_probes += 5;
+  EXPECT_EQ(perf->gets, 2u);
+  EXPECT_EQ(perf->hash_index_probes, 5u);
+  perf->Reset();
+  EXPECT_EQ(perf->gets, 0u);
+  EXPECT_EQ(perf->hash_index_probes, 0u);
+}
+
+TEST(PerfContextTest, DeltaSince) {
+  PerfContext* perf = GetPerfContext();
+  perf->Reset();
+  perf->gets = 10;
+  perf->sorted_seeks = 4;
+  PerfContext before = *perf;
+  perf->gets += 3;
+  perf->sorted_seeks += 1;
+  perf->vlog_read_bytes += 4096;
+  PerfContext d = perf->DeltaSince(before);
+  EXPECT_EQ(d.gets, 3u);
+  EXPECT_EQ(d.sorted_seeks, 1u);
+  EXPECT_EQ(d.vlog_read_bytes, 4096u);
+  EXPECT_EQ(d.writes, 0u);
+  perf->Reset();
+}
+
+TEST(PerfContextTest, ToStringSkipsZeros) {
+  PerfContext p;
+  p.gets = 2;
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("gets=2"), std::string::npos);
+  EXPECT_EQ(s.find("writes"), std::string::npos);
+  std::string all = p.ToString(/*include_zeros=*/true);
+  EXPECT_NE(all.find("writes=0"), std::string::npos);
+}
+
+TEST(PerfContextTest, ThreadLocal) {
+  PerfContext* main_ctx = GetPerfContext();
+  main_ctx->Reset();
+  main_ctx->gets = 7;
+  std::thread t([] {
+    PerfContext* other = GetPerfContext();
+    // A fresh thread starts from zero; its increments stay its own.
+    EXPECT_EQ(other->gets, 0u);
+    other->gets = 100;
+  });
+  t.join();
+  EXPECT_EQ(main_ctx->gets, 7u);
+  main_ctx->Reset();
+}
+
+TEST(StopwatchGuardTest, AccumulatesElapsed) {
+  uint64_t total = 0;
+  Env* env = Env::Default();
+  {
+    StopwatchGuard g(env, &total);
+    env->SleepForMicroseconds(2000);
+  }
+  EXPECT_GE(total, 1000u);
+  uint64_t first = total;
+  {
+    StopwatchGuard g(nullptr, &total);  // nullptr -> Env::Default().
+  }
+  EXPECT_GE(total, first);
+}
+
+}  // namespace
+}  // namespace unikv

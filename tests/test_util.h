@@ -1,8 +1,10 @@
 #ifndef UNIKV_TESTS_TEST_UTIL_H_
 #define UNIKV_TESTS_TEST_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "util/env.h"
@@ -40,6 +42,164 @@ inline std::string TestValue(uint64_t i, size_t len = 64) {
   }
   return v;
 }
+
+/// Minimal recursive-descent JSON validity checker used by the metrics /
+/// event-logger tests. Accepts any single JSON value; no semantic checks.
+class JsonChecker {
+ public:
+  static bool Valid(const std::string& s) {
+    JsonChecker c(s);
+    c.SkipWs();
+    if (!c.Value()) return false;
+    c.SkipWs();
+    return c.pos_ == s.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    pos_++;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      pos_++;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      if (Peek() == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    pos_++;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      if (Peek() == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    pos_++;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') {
+        pos_++;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        pos_++;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; i++) {
+            pos_++;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+      pos_++;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') pos_++;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) pos_++;
+    if (Peek() == '.') {
+      pos_++;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) pos_++;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      pos_++;
+      if (Peek() == '+' || Peek() == '-') pos_++;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) pos_++;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+inline bool IsValidJson(const std::string& s) { return JsonChecker::Valid(s); }
 
 }  // namespace test
 }  // namespace unikv
