@@ -241,7 +241,7 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
       }
       b.out.meta.table_id = max_id;
       s = env_->NewWritableFile(TableFileName(dbname_, number), &b.file);
-      if (!s.ok()) return s;
+      if (!s.ok()) break;
       b.builder =
           std::make_unique<TableBuilder>(options_.table_options, b.file.get());
     }
@@ -255,9 +255,10 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
       b.out.keys.push_back(user_key.ToString());
     }
   }
-  s = iter->status();
+  if (s.ok()) s = iter->status();
 
   for (auto& [pid, b] : builders) {
+    if (b.builder == nullptr) continue;  // Output file creation failed.
     if (s.ok()) {
       s = b.builder->Finish();
     } else {
@@ -270,8 +271,17 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
       b.out.meta.smallest = b.first_key;
       b.out.meta.largest = b.last_key;
       edit->AddUnsortedFile(pid, b.out.meta);
-      outputs->push_back(std::move(b.out));
       stats_.flush_bytes += b.out.meta.size;
+      outputs->push_back(std::move(b.out));
+    }
+  }
+  if (!s.ok()) {
+    // Nothing installs: release the output numbers so RemoveObsoleteFiles
+    // can sweep the partial files once the error state clears.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [pid, b] : builders) {
+      (void)pid;
+      pending_outputs_.erase(b.out.meta.number);
     }
   }
   return s;
@@ -330,6 +340,7 @@ Status UniKVDB::CompactMemTable() {
 
   // Periodic hash-index checkpointing (paper: every UnsortedLimit/2 of
   // flushed tables).
+  std::vector<uint64_t> checkpoint_numbers;
   if (options_.index_checkpoint_interval > 0) {
     VersionPtr ver = versions_->current();
     for (const FlushOutput& out : outputs) {
@@ -353,6 +364,7 @@ Status UniKVDB::CompactMemTable() {
           env_, IndexCheckpointFileName(dbname_, number), *index, covered);
       if (cs.ok()) {
         edit.SetIndexCheckpoint(out.pid, number);
+        checkpoint_numbers.push_back(number);
         counter = 0;
       } else {
         pending_outputs_.erase(number);
@@ -363,6 +375,9 @@ Status UniKVDB::CompactMemTable() {
   s = versions_->LogAndApply(&edit);
   for (const FlushOutput& out : outputs) {
     pending_outputs_.erase(out.meta.number);
+  }
+  for (uint64_t number : checkpoint_numbers) {
+    pending_outputs_.erase(number);
   }
   if (s.ok()) {
     stats_.flushes++;
@@ -425,7 +440,11 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     std::unique_ptr<WritableFile> vfile;
     Status s =
         env_->NewWritableFile(ValueLogFileName(dbname_, vlog_number), &vfile);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_outputs_.erase(vlog_number);
+      return s;
+    }
     vlog = std::make_unique<ValueLogWriter>(std::move(vfile), pid,
                                             vlog_number);
   }
@@ -651,7 +670,11 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
   }
   std::unique_ptr<WritableFile> file;
   Status s = env_->NewWritableFile(TableFileName(dbname_, number), &file);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_outputs_.erase(number);
+    return s;
+  }
   TableBuilder builder(options_.table_options, file.get());
 
   FileMeta meta;
@@ -744,7 +767,11 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   std::unique_ptr<WritableFile> vfile;
   Status s =
       env_->NewWritableFile(ValueLogFileName(dbname_, vlog_number), &vfile);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_outputs_.erase(vlog_number);
+    return s;
+  }
   ValueLogWriter vlog(std::move(vfile), pid, vlog_number);
 
   // Scan the SortedStore (the authority on liveness), fetch every live
@@ -916,6 +943,30 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (TEST_gc_unsafe_delete_before_install_.load(std::memory_order_relaxed)) {
+    // Deliberately wrong ordering, enabled only by the crash harness: the
+    // old logs must outlive a durable manifest install (the safe path
+    // defers deletion to RemoveObsoleteFiles). Deleting first loses live
+    // values if we crash before the install becomes durable. Logs still
+    // shared with a sibling partition stay (they are not obsolete even
+    // after this edit), matching what the buggy ordering would delete.
+    VersionPtr cur = versions_->current();
+    for (const VlogMeta& v : p->vlogs) {
+      bool shared = false;
+      for (const auto& other : cur->partitions) {
+        if (other->id == pid) continue;
+        for (const VlogMeta& ov : other->vlogs) {
+          if (ov.number == v.number) {
+            shared = true;
+            break;
+          }
+        }
+      }
+      if (shared) continue;
+      vlog_cache_->Evict(0, v.number);
+      env_->RemoveFile(ValueLogFileName(dbname_, v.number));
+    }
+  }
   s = versions_->LogAndApply(&edit);
   for (const FileMeta& f : outputs) pending_outputs_.erase(f.number);
   pending_outputs_.erase(vlog_number);

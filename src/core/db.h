@@ -56,6 +56,12 @@ class DB {
   /// Flushes the memtable to level-0 / UnsortedStore and waits for it.
   virtual Status FlushMemTable() = 0;
 
+  /// The sticky background error, if any. Once a WAL write, flush, merge,
+  /// GC or split fails (e.g. a failed manifest sync), the engine stops
+  /// accepting writes and every later write returns this error; reads
+  /// keep working. Engines without background work return OK.
+  virtual Status GetBackgroundError() { return Status::OK(); }
+
   /// DB introspection; returns false for unknown properties. Common:
   ///   "db.num-partitions", "db.hash-index-bytes", "db.hash-index-entries",
   ///   "db.stats", "db.sstables", "db.table-accesses", "db.num-files"

@@ -151,6 +151,8 @@ Status DestroyDB(const Options& options, const std::string& name) {
 
 // ------------------------------------------------------------- lifecycle
 
+std::atomic<bool> UniKVDB::TEST_gc_unsafe_delete_before_install_{false};
+
 UniKVDB::UniKVDB(const Options& options, const std::string& dbname)
     : options_(options), dbname_(dbname) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
@@ -451,6 +453,12 @@ Status UniKVDB::WriteImpl(const WriteOptions& options, WriteBatch* updates) {
           status = wal_file_->Sync();
         }
       }
+      if (!status.ok()) {
+        // A failed WAL append or sync leaves the log tail undefined: later
+        // records could land after a torn fragment and silently vanish at
+        // replay. Latch the error so subsequent writes are rejected.
+        RecordBackgroundError(status);
+      }
       if (status.ok()) {
         StopwatchGuard mem_timer(env_,
                                  &GetPerfContext()->write_memtable_micros);
@@ -515,6 +523,14 @@ WriteBatch* UniKVDB::BuildBatchGroup(Writer** last_writer) {
 }
 
 Status UniKVDB::SwitchWal() {
+  // Make the outgoing log durable before retiring it. Without this, a sync
+  // on the new WAL could make post-rotation ops durable while unsynced
+  // pre-rotation ops are lost — a mid-sequence gap that breaks prefix
+  // recovery.
+  if (wal_file_ != nullptr) {
+    Status sync_status = wal_file_->Sync();
+    if (!sync_status.ok()) return sync_status;
+  }
   uint64_t new_number = versions_->NewFileNumber();
   std::unique_ptr<WritableFile> lfile;
   Status s = env_->NewWritableFile(WalFileName(dbname_, new_number), &lfile);
@@ -957,6 +973,11 @@ Status UniKVDB::ScanImpl(const ReadOptions& options, const Slice& start,
 }
 
 // ------------------------------------------------------------ properties
+
+Status UniKVDB::GetBackgroundError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bg_error_;
+}
 
 bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
   if (property == Slice("db.metrics") || property == Slice("db.metrics.json")) {

@@ -1,6 +1,7 @@
 #ifndef UNIKV_CORE_UNIKV_DB_H_
 #define UNIKV_CORE_UNIKV_DB_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -136,7 +137,13 @@ class UniKVDB : public DB {
               std::vector<std::pair<std::string, std::string>>* out) override;
   Status CompactAll() override;
   Status FlushMemTable() override;
+  Status GetBackgroundError() override;
   bool GetProperty(const Slice& property, std::string* value) override;
+
+  /// Test-only: reintroduces the historical unsafe GC ordering (old value
+  /// logs deleted before the manifest install is durable), so the crash
+  /// harness can prove it catches ordering bugs. Never set in production.
+  static std::atomic<bool> TEST_gc_unsafe_delete_before_install_;
 
  private:
   friend class DB;

@@ -460,6 +460,11 @@ Status VersionSet::Recover(bool create_if_missing, bool error_if_exists) {
   if (s.ok()) s = tmp_file->Sync();
   if (s.ok()) s = tmp_file->Close();
   if (s.ok()) s = env_->RenameFile(tmp, current_name);
+  // The rename itself is directory metadata: without a parent-directory
+  // sync a crash can revert CURRENT to the previous manifest — which
+  // RemoveObsoleteFiles may have deleted by then, leaving the store
+  // unopenable. Found by the crash harness (tests/db_crash_test.cc).
+  if (s.ok()) s = env_->SyncDir(dbname_);
   return s;
 }
 

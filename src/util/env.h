@@ -81,6 +81,16 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  /// Persists directory metadata (file creations, deletions and renames
+  /// inside `dirname`) to stable storage. A RenameFile is only guaranteed
+  /// to survive a crash once the parent directory has been synced. The
+  /// default is a no-op for Envs whose metadata operations are durable
+  /// immediately (e.g. MemEnv).
+  virtual Status SyncDir(const std::string& dirname) {
+    (void)dirname;
+    return Status::OK();
+  }
+
   virtual uint64_t NowMicros() = 0;
   virtual void SleepForMicroseconds(int micros) = 0;
 };
@@ -143,6 +153,9 @@ class InstrumentedEnv : public Env {
   Status RenameFile(const std::string& src,
                     const std::string& target) override {
     return base_->RenameFile(src, target);
+  }
+  Status SyncDir(const std::string& dirname) override {
+    return base_->SyncDir(dirname);
   }
   uint64_t NowMicros() override { return base_->NowMicros(); }
   void SleepForMicroseconds(int micros) override {

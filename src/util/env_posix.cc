@@ -295,6 +295,19 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& dirname) override {
+    int fd = ::open(dirname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(dirname, errno);
+    }
+    Status s;
+    if (::fsync(fd) != 0) {
+      s = PosixError(dirname, errno);
+    }
+    ::close(fd);
+    return s;
+  }
+
   uint64_t NowMicros() override {
     struct ::timeval tv;
     ::gettimeofday(&tv, nullptr);

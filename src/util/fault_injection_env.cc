@@ -1,0 +1,445 @@
+#include "util/fault_injection_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unikv {
+
+namespace {
+constexpr uint64_t kReadChunk = 64 * 1024;
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kAppend:
+      return "Append";
+    case FaultOp::kFlush:
+      return "Flush";
+    case FaultOp::kSync:
+      return "Sync";
+    case FaultOp::kClose:
+      return "Close";
+    case FaultOp::kNewWritableFile:
+      return "NewWritableFile";
+    case FaultOp::kNewAppendableFile:
+      return "NewAppendableFile";
+    case FaultOp::kRenameFile:
+      return "RenameFile";
+    case FaultOp::kRemoveFile:
+      return "RemoveFile";
+    case FaultOp::kSyncDir:
+      return "SyncDir";
+    case FaultOp::kNumOps:
+      break;
+  }
+  return "Unknown";
+}
+
+/// WritableFile wrapper: routes every mutating call through the env's fault
+/// gate and maintains the shadow (size, synced_size) for its file.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string fname,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    Status s = env_->CheckMutatingCall(FaultOp::kAppend, fname_, true);
+    if (s.ok()) s = base_->Append(data);
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      env_->files_[fname_].size += data.size();
+    }
+    return s;
+  }
+
+  Status Flush() override {
+    // Flush only moves data toward the OS cache; it is interceptable but
+    // not a counted fault point (see header).
+    Status s = env_->CheckMutatingCall(FaultOp::kFlush, fname_, false);
+    if (s.ok()) s = base_->Flush();
+    return s;
+  }
+
+  Status Sync() override {
+    Status s = env_->CheckMutatingCall(FaultOp::kSync, fname_, true);
+    if (s.ok()) s = base_->Sync();
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      FaultInjectionEnv::FileState& st = env_->files_[fname_];
+      st.synced_size = st.size;
+      st.ever_synced = true;
+    }
+    return s;
+  }
+
+  Status Close() override {
+    Status s = env_->CheckMutatingCall(FaultOp::kClose, fname_, true);
+    // On an injected failure the base file stays open; its destructor
+    // closes it. Closing makes nothing durable, so no shadow update.
+    if (s.ok()) s = base_->Close();
+    return s;
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+void FaultInjectionEnv::FailAt(FaultOp op, const std::string& pattern,
+                               uint64_t nth, bool sticky) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(FaultRule{op, pattern, nth, sticky, /*crash=*/false});
+}
+
+void FaultInjectionEnv::CrashAt(FaultOp op, const std::string& pattern,
+                                uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(
+      FaultRule{op, pattern, nth, /*sticky=*/false, /*crash=*/true});
+}
+
+void FaultInjectionEnv::CrashAtCallIndex(uint64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_index_ = index;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  crash_at_index_ = UINT64_MAX;
+}
+
+uint64_t FaultInjectionEnv::CallCount(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counts_[static_cast<int>(op)];
+}
+
+uint64_t FaultInjectionEnv::TotalMutatingCalls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_calls_;
+}
+
+void FaultInjectionEnv::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_calls_ = 0;
+  for (uint64_t& c : op_counts_) c = 0;
+  trace_.clear();
+}
+
+void FaultInjectionEnv::EnableTrace(bool enable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_enabled_ = enable;
+}
+
+std::vector<FaultInjectionEnv::CallRecord> FaultInjectionEnv::Trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectionEnv::TriggerCrashLocked() { crashed_ = true; }
+
+Status FaultInjectionEnv::CheckMutatingCall(FaultOp op,
+                                            const std::string& fname,
+                                            bool counted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IOError(fname, "simulated crash: filesystem is frozen");
+  }
+  if (counted) {
+    // This call's index is the pre-increment total, so trace_[i] describes
+    // counted call i and CrashAtCallIndex(i) fires on exactly that call.
+    const uint64_t index = total_calls_++;
+    op_counts_[static_cast<int>(op)]++;
+    if (trace_enabled_) trace_.push_back(CallRecord{op, fname});
+    if (index == crash_at_index_) {
+      TriggerCrashLocked();
+      return Status::IOError(fname, "injected crash");
+    }
+  }
+  for (FaultRule& rule : rules_) {
+    if (rule.spent || rule.op != op ||
+        fname.find(rule.pattern) == std::string::npos) {
+      continue;
+    }
+    if (rule.remaining > 0) {
+      rule.remaining--;
+      continue;
+    }
+    if (rule.crash) {
+      TriggerCrashLocked();
+      return Status::IOError(fname, "injected crash");
+    }
+    if (!rule.sticky) rule.spent = true;
+    return Status::IOError(fname, "injected fault");
+  }
+  return Status::OK();
+}
+
+std::string FaultInjectionEnv::DirOf(const std::string& fname) {
+  size_t pos = fname.rfind('/');
+  if (pos == std::string::npos) return "";
+  return fname.substr(0, pos);
+}
+
+Status FaultInjectionEnv::ReadFileToString(const std::string& fname,
+                                           uint64_t limit, std::string* out) {
+  out->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = base_->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  std::string scratch(kReadChunk, '\0');
+  while (out->size() < limit) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kReadChunk, limit - out->size()));
+    Slice chunk;
+    s = file->Read(want, &chunk, scratch.data());
+    if (!s.ok()) return s;
+    if (chunk.empty()) break;
+    out->append(chunk.data(), chunk.size());
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::WriteStringToFile(const std::string& fname,
+                                            const std::string& data) {
+  std::unique_ptr<WritableFile> file;
+  Status s = base_->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(data);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  return s;
+}
+
+Status FaultInjectionEnv::RecoverAfterCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status result;
+  auto note = [&result](const Status& s) {
+    if (result.ok() && !s.ok()) result = s;
+  };
+
+  // 1. Roll back renames that never became durable, newest first, moving
+  //    the file back and resurrecting any overwritten target.
+  for (auto rit = rename_journal_.rbegin(); rit != rename_journal_.rend();
+       ++rit) {
+    if (base_->FileExists(rit->to)) {
+      std::string content;
+      note(ReadFileToString(rit->to, UINT64_MAX, &content));
+      note(WriteStringToFile(rit->from, content));
+    }
+    if (rit->had_target) {
+      note(WriteStringToFile(rit->to, rit->target_content));
+    } else {
+      base_->RemoveFile(rit->to);  // May already be gone; ignore.
+    }
+    files_.erase(rit->to);
+    if (rit->target_tracked) files_[rit->to] = rit->target_state;
+    files_.erase(rit->from);
+    if (rit->from_tracked) files_[rit->from] = rit->from_state;
+  }
+  rename_journal_.clear();
+
+  // 2. Delete files that were created but never synced; truncate the rest
+  //    to their durable prefix (read + rewrite through the base Env, since
+  //    Env has no truncate).
+  for (auto it = files_.begin(); it != files_.end();) {
+    const std::string& fname = it->first;
+    FileState& st = it->second;
+    if (!st.ever_synced) {
+      base_->RemoveFile(fname);  // Ignore NotFound.
+      it = files_.erase(it);
+      continue;
+    }
+    uint64_t cur = 0;
+    if (base_->GetFileSize(fname, &cur).ok() && cur > st.synced_size) {
+      std::string prefix;
+      note(ReadFileToString(fname, st.synced_size, &prefix));
+      note(WriteStringToFile(fname, prefix));
+    }
+    st.size = st.synced_size;
+    ++it;
+  }
+
+  crashed_ = false;
+  return result;
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  return base_->NewSequentialFile(fname, result);
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  return base_->NewRandomAccessFile(fname, result);
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = CheckMutatingCall(FaultOp::kNewWritableFile, fname, true);
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> base_file;
+  s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Recreation truncates: the shadow starts fresh, and like any new file
+    // it survives a crash only once synced.
+    files_[fname] = FileState{};
+  }
+  result->reset(new FaultWritableFile(this, fname, std::move(base_file)));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewAppendableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = CheckMutatingCall(FaultOp::kNewAppendableFile, fname, true);
+  if (!s.ok()) return s;
+  // A pre-existing file that was never written through this wrapper is
+  // treated as fully durable at its current size.
+  bool pre_existing = base_->FileExists(fname);
+  uint64_t pre_size = 0;
+  if (pre_existing) base_->GetFileSize(fname, &pre_size);
+  std::unique_ptr<WritableFile> base_file;
+  s = base_->NewAppendableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.find(fname) == files_.end()) {
+      FileState st;
+      if (pre_existing) {
+        st.size = pre_size;
+        st.synced_size = pre_size;
+        st.ever_synced = true;
+      }
+      files_[fname] = st;
+    }
+  }
+  result->reset(new FaultWritableFile(this, fname, std::move(base_file)));
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* result) {
+  return base_->GetChildren(dir, result);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  Status s = CheckMutatingCall(FaultOp::kRemoveFile, fname, true);
+  if (!s.ok()) return s;
+  s = base_->RemoveFile(fname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(fname);
+    // A removed file can no longer participate in rename rollback.
+    for (auto it = rename_journal_.begin(); it != rename_journal_.end();) {
+      if (it->to == fname || it->from == fname) {
+        it = rename_journal_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
+  // Directory creation/removal is not an enumerated fault point (it happens
+  // once per DB lifetime), but a frozen filesystem still rejects it.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Status::IOError(dirname, "simulated crash: filesystem is frozen");
+    }
+  }
+  return base_->CreateDir(dirname);
+}
+
+Status FaultInjectionEnv::RemoveDir(const std::string& dirname) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Status::IOError(dirname, "simulated crash: filesystem is frozen");
+    }
+  }
+  return base_->RemoveDir(dirname);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  // Rules and the trace see "src -> target" so patterns can match either.
+  Status s = CheckMutatingCall(FaultOp::kRenameFile, src + " -> " + target,
+                               true);
+  if (!s.ok()) return s;
+  RenameRecord rec;
+  rec.from = src;
+  rec.to = target;
+  rec.had_target = base_->FileExists(target);
+  if (rec.had_target) {
+    s = ReadFileToString(target, UINT64_MAX, &rec.target_content);
+    if (!s.ok()) return s;
+  }
+  s = base_->RenameFile(src, target);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto from_it = files_.find(src);
+  rec.from_tracked = from_it != files_.end();
+  if (rec.from_tracked) rec.from_state = from_it->second;
+  auto target_it = files_.find(target);
+  rec.target_tracked = target_it != files_.end();
+  if (rec.target_tracked) rec.target_state = target_it->second;
+  // The shadow follows the file to its new name.
+  files_.erase(target);
+  if (rec.from_tracked) {
+    files_[target] = rec.from_state;
+    files_.erase(src);
+  }
+  rename_journal_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dirname) {
+  Status s = CheckMutatingCall(FaultOp::kSyncDir, dirname, true);
+  if (!s.ok()) return s;
+  s = base_->SyncDir(dirname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Renames inside this directory are now durable.
+    for (auto it = rename_journal_.begin(); it != rename_journal_.end();) {
+      if (DirOf(it->to) == dirname) {
+        it = rename_journal_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return s;
+}
+
+uint64_t FaultInjectionEnv::NowMicros() { return base_->NowMicros(); }
+
+void FaultInjectionEnv::SleepForMicroseconds(int micros) {
+  base_->SleepForMicroseconds(micros);
+}
+
+}  // namespace unikv

@@ -1,0 +1,212 @@
+#ifndef UNIKV_UTIL_FAULT_INJECTION_ENV_H_
+#define UNIKV_UTIL_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+
+namespace unikv {
+
+/// The mutating Env calls the fault-injection Env can intercept. Read-only
+/// calls are always forwarded untouched.
+enum class FaultOp : int {
+  kAppend = 0,
+  kFlush,
+  kSync,
+  kClose,
+  kNewWritableFile,
+  kNewAppendableFile,
+  kRenameFile,
+  kRemoveFile,
+  kSyncDir,
+  kNumOps,  // Sentinel; not a real operation.
+};
+
+const char* FaultOpName(FaultOp op);
+
+/// An Env wrapper for deterministic fault-injection and crash testing.
+/// Composable over any base Env (PosixEnv or MemEnv); the wrapper keeps its
+/// own shadow of what would survive a power failure, so the base Env needs
+/// no crash support of its own.
+///
+/// Three capabilities, per the crash-test harness design (DESIGN.md §crash
+/// consistency):
+///
+///  1. FailAt(): fail the Nth mutating call matching (op, filename
+///     substring) with an injected IOError, one-shot or sticky.
+///  2. CrashAt() / CrashAtCallIndex(): simulate a power failure at a chosen
+///     call. The triggering call fails without reaching the base Env and
+///     the filesystem freezes — every later mutating call fails with
+///     "crashed" until RecoverAfterCrash(), while reads still work so the
+///     process can limp to shutdown. RecoverAfterCrash() then rewrites the
+///     base filesystem to the durable state: unsynced renames are rolled
+///     back (restoring any overwritten target), never-synced files are
+///     deleted, and surviving files are truncated to their last-synced
+///     length.
+///  3. Counting and tracing: every mutating call gets a global index, so a
+///     harness can run a workload once to learn N = TotalMutatingCalls(),
+///     then re-run it N times crashing at each index in turn — enumerating
+///     every fault point. The optional trace records (op, filename) per
+///     call so tests can locate specific points (e.g. "the MANIFEST sync
+///     right after the first vlog deletion").
+///
+/// Durability model (deliberately adversarial, each rule being the weakest
+/// guarantee a POSIX filesystem provides):
+///  - File data survives only up to the last successful Sync().
+///  - A file created through this Env survives only if it was ever synced.
+///  - A rename survives only once its parent directory is SyncDir()ed;
+///    until then a crash reverts it (and resurrects an overwritten target).
+///  - RemoveFile is durable immediately (deleting early is never safe).
+///  - Files that predate the wrapper (never opened for write through it)
+///    are treated as fully durable.
+///
+/// Crashing *before* call i+1 is equivalent to crashing *after* call i, so
+/// iterating the pre-call crash over [0, N) covers every call boundary.
+/// Flush is interceptable by FailAt but not counted: it only moves data
+/// from user space to OS cache, so a crash at a Flush is indistinguishable
+/// from one at the preceding Append.
+///
+/// Thread-safe. All open file handles must be destroyed (e.g. the DB
+/// closed) before calling RecoverAfterCrash().
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base);
+  ~FaultInjectionEnv() override;
+
+  FaultInjectionEnv(const FaultInjectionEnv&) = delete;
+  FaultInjectionEnv& operator=(const FaultInjectionEnv&) = delete;
+
+  // ---- Fault programming --------------------------------------------------
+
+  /// Arms a rule: the nth (0-based) future call whose operation is `op` and
+  /// whose filename contains `pattern` fails with an injected IOError
+  /// ("injected fault"). With `sticky`, every later matching call fails too.
+  void FailAt(FaultOp op, const std::string& pattern, uint64_t nth,
+              bool sticky = false);
+
+  /// Arms a crash: the nth (0-based) future call matching (op, pattern)
+  /// triggers a simulated power failure (see class comment).
+  void CrashAt(FaultOp op, const std::string& pattern, uint64_t nth);
+
+  /// Arms a crash keyed on the global counted-call index instead of an
+  /// (op, pattern) match: the call whose index would be `index` (0-based,
+  /// as counted by TotalMutatingCalls()) triggers the crash.
+  void CrashAtCallIndex(uint64_t index);
+
+  /// Disarms all FailAt/CrashAt rules. Does not unfreeze a crashed env.
+  void ClearFaults();
+
+  // ---- Counting / tracing -------------------------------------------------
+
+  /// Calls of `op` seen so far (counted ops only; Flush is never counted).
+  uint64_t CallCount(FaultOp op) const;
+  /// Total counted mutating calls seen so far.
+  uint64_t TotalMutatingCalls() const;
+  /// Zeroes all counters and clears the trace.
+  void ResetCounters();
+
+  struct CallRecord {
+    FaultOp op;
+    std::string filename;  // For RenameFile this is "src -> target", so a
+                           // pattern can match either side.
+  };
+  void EnableTrace(bool enable);
+  std::vector<CallRecord> Trace() const;
+
+  // ---- Crash state --------------------------------------------------------
+
+  bool crashed() const;
+
+  /// Brings the "machine" back up: rewrites the base Env to the durable
+  /// state described in the class comment and unfreezes the filesystem.
+  /// Counters, trace and armed rules are left untouched. Requires all
+  /// wrapper file handles to have been destroyed.
+  Status RecoverAfterCrash();
+
+  // ---- Env interface ------------------------------------------------------
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+  Status SyncDir(const std::string& dirname) override;
+  uint64_t NowMicros() override;
+  void SleepForMicroseconds(int micros) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  /// What the wrapper believes would survive a crash for one tracked file
+  /// (a file opened for write through this Env).
+  struct FileState {
+    uint64_t size = 0;         // Current logical size.
+    uint64_t synced_size = 0;  // Durable prefix.
+    bool ever_synced = false;  // False: the file itself vanishes on crash.
+  };
+
+  /// One not-yet-durable rename, so RecoverAfterCrash can undo it. The
+  /// previous content of an overwritten target is saved for resurrection.
+  struct RenameRecord {
+    std::string from;
+    std::string to;
+    bool had_target = false;
+    std::string target_content;
+    bool target_tracked = false;
+    FileState target_state;
+    bool from_tracked = false;
+    FileState from_state;
+  };
+
+  struct FaultRule {
+    FaultOp op;
+    std::string pattern;
+    uint64_t remaining;  // Matches to skip before firing.
+    bool sticky;
+    bool crash;
+    bool spent = false;
+  };
+
+  /// Gate every mutating call goes through: applies freeze, counts, traces,
+  /// and evaluates armed rules. Returns non-OK if the call must fail
+  /// without reaching the base Env. `counted` is false for Flush.
+  Status CheckMutatingCall(FaultOp op, const std::string& fname, bool counted);
+  void TriggerCrashLocked();
+  static std::string DirOf(const std::string& fname);
+  Status ReadFileToString(const std::string& fname, uint64_t limit,
+                          std::string* out);
+  Status WriteStringToFile(const std::string& fname, const std::string& data);
+
+  Env* const base_;
+
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  bool trace_enabled_ = false;
+  uint64_t total_calls_ = 0;
+  uint64_t crash_at_index_ = UINT64_MAX;
+  uint64_t op_counts_[static_cast<int>(FaultOp::kNumOps)] = {};
+  std::vector<FaultRule> rules_;
+  std::vector<CallRecord> trace_;
+  std::map<std::string, FileState> files_;
+  std::vector<RenameRecord> rename_journal_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_FAULT_INJECTION_ENV_H_

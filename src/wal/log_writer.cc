@@ -27,6 +27,9 @@ Writer::Writer(WritableFile* dest, uint64_t dest_length)
 }
 
 Status Writer::AddRecord(const Slice& slice) {
+  if (!last_status_.ok()) {
+    return last_status_;
+  }
   const char* ptr = slice.data();
   size_t left = slice.size();
 
@@ -41,7 +44,8 @@ Status Writer::AddRecord(const Slice& slice) {
       // Switch to a new block; fill trailer with zeros.
       if (leftover > 0) {
         static_assert(kHeaderSize == 7, "");
-        dest_->Append(Slice("\x00\x00\x00\x00\x00\x00", leftover));
+        s = dest_->Append(Slice("\x00\x00\x00\x00\x00\x00", leftover));
+        if (!s.ok()) break;
       }
       block_offset_ = 0;
     }
@@ -66,6 +70,9 @@ Status Writer::AddRecord(const Slice& slice) {
     left -= fragment_length;
     begin = false;
   } while (s.ok() && left > 0);
+  if (!s.ok()) {
+    last_status_ = s;
+  }
   return s;
 }
 

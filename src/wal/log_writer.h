@@ -36,6 +36,12 @@ class Writer {
   WritableFile* dest_;
   int block_offset_;  // Current offset in block.
 
+  // Once a physical append fails the on-disk position of later records is
+  // unknowable (a torn fragment may sit between them and the readable
+  // prefix), so the first error is sticky: every later AddRecord returns
+  // it without writing.
+  Status last_status_;
+
   // Precomputed crc32c of the type byte, one per record type.
   uint32_t type_crc_[kMaxRecordType + 1];
 };

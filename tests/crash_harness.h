@@ -1,0 +1,95 @@
+#ifndef UNIKV_TESTS_CRASH_HARNESS_H_
+#define UNIKV_TESTS_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "util/fault_injection_env.h"
+
+namespace unikv {
+namespace test {
+
+/// Model-based crash-consistency harness (DESIGN.md §crash consistency).
+///
+/// A fixed scripted workload — puts, overwrites, deletes, sync-puts, and
+/// FlushMemTable / CompactAll barriers — drives every background operation
+/// kind: WAL append/sync, memtable flush, UnsortedStore→SortedStore merge
+/// with KV separation, dynamic range split, value-log GC, hash-index
+/// checkpointing, and the manifest/CURRENT install. The harness can
+///
+///  - profile the workload (no faults) over a FaultInjectionEnv to learn
+///    N = the number of counted mutating Env calls and their trace, and
+///  - re-run it crashing at any counted call index, recover, reopen, and
+///    verify the recovered store against a golden std::map.
+///
+/// Verification accepts exactly the prefix cuts c in [S, C]: C is the
+/// number of acknowledged ops (every op after the crash fails), S the
+/// strongest durability lower bound (last acknowledged sync-put or
+/// barrier). A lost synced write, a mid-sequence gap, a resurrected or
+/// unknown key, an unreadable value, or a store that fails to reopen is a
+/// failure. Because the crash fires *before* its target call, iterating
+/// the index over [0, N) covers every call boundary in the workload.
+class CrashHarness {
+ public:
+  struct Profile {
+    uint64_t workload_calls = 0;  // N: counted calls in one workload run.
+    uint64_t reopen_calls = 0;    // M: counted calls in one clean reopen.
+    std::vector<FaultInjectionEnv::CallRecord> trace;  // Workload portion.
+    std::string stats;  // Final "db.stats" property text.
+  };
+
+  CrashHarness();
+
+  /// Clean run over a FaultInjectionEnv with tracing: fills *out and
+  /// verifies the final and post-reopen state. Returns "" on success,
+  /// else a failure description.
+  std::string RunProfile(Profile* out);
+
+  /// Crash at counted call `index` during the workload, then recover,
+  /// reopen and verify. Returns "" if the recovered store is a consistent
+  /// prefix cut, else a failure description.
+  std::string RunCrashAt(uint64_t index);
+
+  /// Runs the workload to completion, closes cleanly, then crashes at the
+  /// `index`-th counted call of the subsequent re-open (recovery itself is
+  /// full of fault points: WAL-replay flush, manifest rewrite, CURRENT
+  /// rename, obsolete-file sweep). Verifies via a third, clean open.
+  std::string RunReopenCrashAt(uint64_t index);
+
+  size_t NumOps() const { return ops_.size(); }
+
+ private:
+  struct Op {
+    enum Kind { kPut, kDelete, kFlush, kCompact };
+    Kind kind;
+    std::string key;
+    std::string value;
+    bool sync = false;
+  };
+
+  Options MakeOptions(Env* env) const;
+  Status ApplyOp(DB* db, const Op& op) const;
+  void ApplyToModel(const Op& op, std::map<std::string, std::string>* m) const;
+
+  /// Issues ops in order until one fails or the env crashes. Returns C
+  /// (the acknowledged prefix length) and sets *synced_prefix to S.
+  size_t RunWorkload(DB* db, const FaultInjectionEnv& env,
+                     size_t* synced_prefix) const;
+
+  /// Checks that `db` equals model_at(c) for some c in [synced_prefix,
+  /// acked_ops], and that the store still accepts writes. "" on success.
+  std::string VerifyRecovered(DB* db, size_t synced_prefix,
+                              size_t acked_ops) const;
+
+  std::vector<Op> ops_;
+  std::set<std::string> universe_;
+};
+
+}  // namespace test
+}  // namespace unikv
+
+#endif  // UNIKV_TESTS_CRASH_HARNESS_H_

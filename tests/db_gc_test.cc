@@ -10,6 +10,7 @@
 #include "core/db.h"
 #include "core/filename.h"
 #include "test_util.h"
+#include "util/fault_injection_env.h"
 #include "util/random.h"
 
 namespace unikv {
@@ -201,6 +202,165 @@ TEST_F(DbGcTest, ObsoleteFilesAreDeleted) {
   }
   EXPECT_LE(wals, 2);
   EXPECT_EQ(0, tmps);
+}
+
+// ----------------------------------------------------------- GC + crashes
+
+namespace {
+
+int CountVlogs(Env* env, const std::string& dir) {
+  std::vector<std::string> children;
+  env->GetChildren(dir, &children);
+  int n = 0;
+  for (const std::string& child : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(child, &number, &type) &&
+        type == FileType::kValueLogFile) {
+      n++;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+// Crash in the window between the GC install (pointer-rewrite merge +
+// manifest sync) and the deletion of the old value logs. Reopen must
+// neither lose live values nor double-free the leftover log files.
+TEST_F(DbGcTest, CrashBetweenGcInstallAndOldLogDeletion) {
+  std::unique_ptr<MemEnv> base(NewMemEnv());
+  FaultInjectionEnv fenv(base.get());
+  Options opt = GcOptions();
+  opt.env = &fenv;
+  const std::string name = "/gc_crash";
+  const int kKeys = 300;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(opt, name, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), test::TestKey(i),
+                        test::TestValue(i, 1024))
+                    .ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  // Overwrites make the first vlog's records garbage, arming GC.
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), test::TestKey(i),
+                        test::TestValue(i + 5000, 1024))
+                    .ok());
+  }
+  // The first value-log deletion happens in the obsolete-file sweep right
+  // after the GC's manifest install — exactly the target window.
+  fenv.CrashAt(FaultOp::kRemoveFile, ".vlog", 0);
+  (void)db->CompactAll();  // The sweep tolerates the frozen filesystem.
+  ASSERT_TRUE(fenv.crashed());
+  db.reset();
+
+  fenv.ClearFaults();
+  ASSERT_TRUE(fenv.RecoverAfterCrash().ok());
+  raw = nullptr;
+  ASSERT_TRUE(DB::Open(opt, name, &raw).ok());
+  db.reset(raw);
+
+  // No live value lost: the GC install was durable, so every pointer
+  // resolves into the rewritten log.
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), test::TestKey(i), &value).ok()) << i;
+    EXPECT_EQ(test::TestValue(i + 5000, 1024), value);
+  }
+  // No double-free: the leftover old logs are swept exactly once (a
+  // second sweep finding them already gone must not fail the engine),
+  // and the store keeps working afterwards.
+  ASSERT_TRUE(db->CompactAll().ok());
+  EXPECT_TRUE(db->GetBackgroundError().ok());
+  for (int i = 0; i < kKeys; i += 37) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), test::TestKey(i), &value).ok()) << i;
+  }
+}
+
+// Crash right before the GC's manifest sync: the install is not durable,
+// so reopen must come back in the pre-GC state — with the old logs still
+// present and every live value still readable through the old pointers.
+TEST_F(DbGcTest, CrashBeforeGcInstallKeepsOldLogs) {
+  const std::string name = "/gc_crash2";
+  const int kKeys = 300;
+  auto workload = [&](FaultInjectionEnv* fenv, std::unique_ptr<DB>* out) {
+    Options opt = GcOptions();
+    opt.env = fenv;
+    DB* raw = nullptr;
+    Status s = DB::Open(opt, name, &raw);
+    out->reset(raw);
+    if (!s.ok()) return s;
+    DB* db = out->get();
+    for (int i = 0; i < kKeys; i++) {
+      s = db->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 1024));
+      if (!s.ok()) return s;
+    }
+    s = db->CompactAll();
+    if (!s.ok()) return s;
+    for (int i = 0; i < kKeys; i++) {
+      s = db->Put(WriteOptions(), test::TestKey(i),
+                  test::TestValue(i + 5000, 1024));
+      if (!s.ok()) return s;
+    }
+    return db->CompactAll();
+  };
+
+  // Twin run #1: profile the clean call sequence to locate the last
+  // manifest sync — the GC install (determinism makes this index stable).
+  uint64_t gc_install_sync = UINT64_MAX;
+  {
+    std::unique_ptr<MemEnv> base(NewMemEnv());
+    FaultInjectionEnv fenv(base.get());
+    fenv.EnableTrace(true);
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(workload(&fenv, &db).ok());
+    auto trace = fenv.Trace();
+    for (uint64_t i = 0; i < trace.size(); i++) {
+      if (trace[i].op == FaultOp::kSync &&
+          trace[i].filename.find("MANIFEST") != std::string::npos) {
+        gc_install_sync = i;
+      }
+    }
+    ASSERT_NE(UINT64_MAX, gc_install_sync);
+  }
+
+  // Twin run #2: same workload, crash at that sync.
+  std::unique_ptr<MemEnv> base(NewMemEnv());
+  FaultInjectionEnv fenv(base.get());
+  fenv.CrashAtCallIndex(gc_install_sync);
+  std::unique_ptr<DB> db;
+  Status s = workload(&fenv, &db);
+  EXPECT_FALSE(s.ok());
+  ASSERT_TRUE(fenv.crashed());
+  db.reset();
+
+  fenv.ClearFaults();
+  ASSERT_TRUE(fenv.RecoverAfterCrash().ok());
+  int vlogs_after_crash = CountVlogs(&fenv, name);
+  EXPECT_GE(vlogs_after_crash, 2) << "old value logs were lost";
+
+  Options opt = GcOptions();
+  opt.env = &fenv;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(opt, name, &raw).ok());
+  db.reset(raw);
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), test::TestKey(i), &value).ok()) << i;
+    EXPECT_EQ(test::TestValue(i + 5000, 1024), value);
+  }
+  // The interrupted GC can be completed now and the store stays correct.
+  ASSERT_TRUE(db->CompactAll().ok());
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), test::TestKey(i), &value).ok()) << i;
+    EXPECT_EQ(test::TestValue(i + 5000, 1024), value);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// Unit tests for the fault-injection Env: the durability model (synced
+// prefixes, never-synced files, rename rollback, directory syncs), fault
+// rules, counting/tracing, and composition over both MemEnv and the real
+// PosixEnv.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "test_util.h"
+#include "util/fault_injection_env.h"
+
+namespace unikv {
+namespace {
+
+std::string ReadWhole(Env* env, const std::string& fname) {
+  uint64_t size = 0;
+  if (!env->GetFileSize(fname, &size).ok()) return "<missing>";
+  std::unique_ptr<SequentialFile> f;
+  if (!env->NewSequentialFile(fname, &f).ok()) return "<missing>";
+  std::string scratch(size, '\0');
+  Slice data;
+  if (!f->Read(size, &data, scratch.data()).ok()) return "<error>";
+  return data.ToString();
+}
+
+Status WriteWhole(Env* env, const std::string& fname, const std::string& data,
+                  bool sync) {
+  std::unique_ptr<WritableFile> f;
+  Status s = env->NewWritableFile(fname, &f);
+  if (!s.ok()) return s;
+  s = f->Append(data);
+  if (s.ok() && sync) s = f->Sync();
+  if (s.ok()) s = f->Close();
+  return s;
+}
+
+// The shared suite runs against an abstract root directory so it can be
+// instantiated over MemEnv and over PosixEnv (in a scratch dir).
+class FaultInjectionEnvTest : public testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (UsePosix()) {
+      root_ = test::NewTestDir("fault_injection_env");
+      base_ = Env::Default();
+    } else {
+      mem_env_.reset(NewMemEnv());
+      base_ = mem_env_.get();
+      root_ = "/faultroot";
+      base_->CreateDir(root_);
+    }
+    fenv_ = std::make_unique<FaultInjectionEnv>(base_);
+  }
+
+  bool UsePosix() const { return GetParam(); }
+  std::string Path(const std::string& name) const { return root_ + "/" + name; }
+
+  std::unique_ptr<MemEnv> mem_env_;
+  Env* base_ = nullptr;
+  std::string root_;
+  std::unique_ptr<FaultInjectionEnv> fenv_;
+};
+
+TEST_P(FaultInjectionEnvTest, CrashTruncatesToSyncedPrefix) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fenv_->NewWritableFile(Path("a"), &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("-volatile").ok());
+  // Crash with the tail unsynced.
+  fenv_->CrashAtCallIndex(fenv_->TotalMutatingCalls());
+  std::unique_ptr<WritableFile> dummy;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("trigger"), &dummy).ok());
+  ASSERT_TRUE(fenv_->crashed());
+  f.reset();
+  ASSERT_TRUE(fenv_->RecoverAfterCrash().ok());
+  EXPECT_EQ("durable", ReadWhole(fenv_.get(), Path("a")));
+}
+
+TEST_P(FaultInjectionEnvTest, NeverSyncedFileVanishesOnCrash) {
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("synced"), "x", true).ok());
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("unsynced"), "y", false).ok());
+  fenv_->CrashAtCallIndex(fenv_->TotalMutatingCalls());
+  std::unique_ptr<WritableFile> dummy;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("trigger"), &dummy).ok());
+  ASSERT_TRUE(fenv_->RecoverAfterCrash().ok());
+  EXPECT_TRUE(fenv_->FileExists(Path("synced")));
+  EXPECT_FALSE(fenv_->FileExists(Path("unsynced")));
+}
+
+TEST_P(FaultInjectionEnvTest, PreexistingFilesAreFullyDurable) {
+  // Written through the *base*, so the wrapper never saw a write: treated
+  // as durable in full.
+  ASSERT_TRUE(WriteWhole(base_, Path("old"), "ancient", false).ok());
+  fenv_->CrashAtCallIndex(fenv_->TotalMutatingCalls());
+  std::unique_ptr<WritableFile> dummy;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("trigger"), &dummy).ok());
+  ASSERT_TRUE(fenv_->RecoverAfterCrash().ok());
+  EXPECT_EQ("ancient", ReadWhole(fenv_.get(), Path("old")));
+}
+
+TEST_P(FaultInjectionEnvTest, UnsyncedRenameRollsBackAndResurrectsTarget) {
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("victim"), "old-target", true).ok());
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("new"), "replacement", true).ok());
+  ASSERT_TRUE(fenv_->RenameFile(Path("new"), Path("victim")).ok());
+  // No SyncDir: the rename is not durable.
+  fenv_->CrashAtCallIndex(fenv_->TotalMutatingCalls());
+  std::unique_ptr<WritableFile> dummy;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("trigger"), &dummy).ok());
+  ASSERT_TRUE(fenv_->RecoverAfterCrash().ok());
+  EXPECT_EQ("old-target", ReadWhole(fenv_.get(), Path("victim")));
+  EXPECT_EQ("replacement", ReadWhole(fenv_.get(), Path("new")));
+}
+
+TEST_P(FaultInjectionEnvTest, SyncDirMakesRenameDurable) {
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("victim"), "old-target", true).ok());
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("new"), "replacement", true).ok());
+  ASSERT_TRUE(fenv_->RenameFile(Path("new"), Path("victim")).ok());
+  ASSERT_TRUE(fenv_->SyncDir(root_).ok());
+  fenv_->CrashAtCallIndex(fenv_->TotalMutatingCalls());
+  std::unique_ptr<WritableFile> dummy;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("trigger"), &dummy).ok());
+  ASSERT_TRUE(fenv_->RecoverAfterCrash().ok());
+  EXPECT_EQ("replacement", ReadWhole(fenv_.get(), Path("victim")));
+  EXPECT_FALSE(fenv_->FileExists(Path("new")));
+}
+
+TEST_P(FaultInjectionEnvTest, RemoveFileIsDurableImmediately) {
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("gone"), "data", true).ok());
+  ASSERT_TRUE(fenv_->RemoveFile(Path("gone")).ok());
+  fenv_->CrashAtCallIndex(fenv_->TotalMutatingCalls());
+  std::unique_ptr<WritableFile> dummy;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("trigger"), &dummy).ok());
+  ASSERT_TRUE(fenv_->RecoverAfterCrash().ok());
+  EXPECT_FALSE(fenv_->FileExists(Path("gone")));
+}
+
+TEST_P(FaultInjectionEnvTest, FailAtNthMatchingCall) {
+  fenv_->FailAt(FaultOp::kAppend, "log", /*nth=*/1);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fenv_->NewWritableFile(Path("x.log"), &f).ok());
+  EXPECT_TRUE(f->Append("first").ok());   // nth=0: passes.
+  EXPECT_FALSE(f->Append("second").ok());  // nth=1: injected fault.
+  EXPECT_TRUE(f->Append("third").ok());   // One-shot rule is spent.
+  EXPECT_FALSE(fenv_->crashed());  // FailAt never freezes the filesystem.
+}
+
+TEST_P(FaultInjectionEnvTest, StickyFaultKeepsFailing) {
+  fenv_->FailAt(FaultOp::kSync, "db", /*nth=*/0, /*sticky=*/true);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fenv_->NewWritableFile(Path("db"), &f).ok());
+  ASSERT_TRUE(f->Append("x").ok());
+  EXPECT_FALSE(f->Sync().ok());
+  EXPECT_FALSE(f->Sync().ok());
+  fenv_->ClearFaults();
+  EXPECT_TRUE(f->Sync().ok());
+}
+
+TEST_P(FaultInjectionEnvTest, PatternFiltersByFilename) {
+  fenv_->FailAt(FaultOp::kAppend, "target", /*nth=*/0, /*sticky=*/true);
+  std::unique_ptr<WritableFile> a, b;
+  ASSERT_TRUE(fenv_->NewWritableFile(Path("other"), &a).ok());
+  ASSERT_TRUE(fenv_->NewWritableFile(Path("target"), &b).ok());
+  EXPECT_TRUE(a->Append("ok").ok());
+  EXPECT_FALSE(b->Append("fails").ok());
+}
+
+TEST_P(FaultInjectionEnvTest, CountersAndTrace) {
+  fenv_->EnableTrace(true);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fenv_->NewWritableFile(Path("t"), &f).ok());
+  ASSERT_TRUE(f->Append("1").ok());
+  ASSERT_TRUE(f->Append("2").ok());
+  ASSERT_TRUE(f->Flush().ok());  // Interceptable but never counted.
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(1u, fenv_->CallCount(FaultOp::kNewWritableFile));
+  EXPECT_EQ(2u, fenv_->CallCount(FaultOp::kAppend));
+  EXPECT_EQ(0u, fenv_->CallCount(FaultOp::kFlush));
+  EXPECT_EQ(1u, fenv_->CallCount(FaultOp::kSync));
+  EXPECT_EQ(4u, fenv_->TotalMutatingCalls());
+  auto trace = fenv_->Trace();
+  ASSERT_EQ(4u, trace.size());
+  EXPECT_EQ(FaultOp::kNewWritableFile, trace[0].op);
+  EXPECT_EQ(Path("t"), trace[0].filename);
+  fenv_->ResetCounters();
+  EXPECT_EQ(0u, fenv_->TotalMutatingCalls());
+  EXPECT_TRUE(fenv_->Trace().empty());
+}
+
+TEST_P(FaultInjectionEnvTest, FrozenEnvRejectsWritesButAllowsReads) {
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("r"), "readable", true).ok());
+  fenv_->CrashAt(FaultOp::kNewWritableFile, "boom", 0);
+  std::unique_ptr<WritableFile> w;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("boom"), &w).ok());
+  ASSERT_TRUE(fenv_->crashed());
+  // Mutations fail while frozen...
+  EXPECT_FALSE(fenv_->RemoveFile(Path("r")).ok());
+  EXPECT_FALSE(fenv_->RenameFile(Path("r"), Path("r2")).ok());
+  EXPECT_FALSE(WriteWhole(fenv_.get(), Path("w"), "x", false).ok());
+  // ...reads still work (the dying process can limp to shutdown).
+  EXPECT_EQ("readable", ReadWhole(fenv_.get(), Path("r")));
+  EXPECT_TRUE(fenv_->FileExists(Path("r")));
+}
+
+TEST_P(FaultInjectionEnvTest, AppendableFileKeepsSyncedBase) {
+  ASSERT_TRUE(WriteWhole(fenv_.get(), Path("log"), "base|", true).ok());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fenv_->NewAppendableFile(Path("log"), &f).ok());
+  ASSERT_TRUE(f->Append("synced|").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("lost").ok());
+  fenv_->CrashAtCallIndex(fenv_->TotalMutatingCalls());
+  std::unique_ptr<WritableFile> dummy;
+  EXPECT_FALSE(fenv_->NewWritableFile(Path("trigger"), &dummy).ok());
+  f.reset();
+  ASSERT_TRUE(fenv_->RecoverAfterCrash().ok());
+  EXPECT_EQ("base|synced|", ReadWhole(fenv_.get(), Path("log")));
+}
+
+TEST_P(FaultInjectionEnvTest, CrashAtEnumeratesDeterministically) {
+  // The same scripted sequence must produce the same call count each run —
+  // the property the crash matrix depends on.
+  auto run = [&](FaultInjectionEnv* env) {
+    std::unique_ptr<WritableFile> f;
+    env->NewWritableFile(Path("d"), &f);
+    f->Append("1");
+    f->Sync();
+    env->RenameFile(Path("d"), Path("d2"));
+    env->SyncDir(root_);
+    env->RemoveFile(Path("d2"));
+  };
+  run(fenv_.get());
+  uint64_t n = fenv_->TotalMutatingCalls();
+  EXPECT_EQ(6u, n);
+  fenv_->ResetCounters();
+  run(fenv_.get());
+  EXPECT_EQ(n, fenv_->TotalMutatingCalls());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, FaultInjectionEnvTest,
+                         testing::Values(false, true),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Posix" : "Mem";
+                         });
+
+}  // namespace
+}  // namespace unikv
