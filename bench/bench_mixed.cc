@@ -6,10 +6,25 @@
 // LeveledLSM loses on the write-heavy end (compaction), TieredLSM loses
 // on the read-heavy end (many runs per lookup).
 
+#include <cstdlib>
+
 #include "bench_common.h"
 
 using namespace unikv;
 using namespace unikv::bench;
+
+namespace {
+
+// Pulls `<key>=<uint>` out of the db.stats property text.
+uint64_t StatsField(DB* db, const std::string& key) {
+  std::string s;
+  if (!db->GetProperty("db.stats", &s)) return 0;
+  size_t pos = s.find(key + "=");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(s.c_str() + pos + key.size() + 1, nullptr, 10);
+}
+
+}  // namespace
 
 int main() {
   const std::string root = BenchRoot("mixed");
@@ -40,6 +55,41 @@ int main() {
     }
     row.push_back("");
     PrintTableRow(row);
+  }
+
+  // F9b — foreground stalls vs background worker count. The parallel
+  // maintenance scheduler exists to keep writers out of stalls: with one
+  // worker a long merge delays the flush every writer is queued behind;
+  // with several, the flush runs while merges/GC proceed in other
+  // partitions. Write-heavy mix to keep the flush pipeline under
+  // pressure.
+  PrintTableHeader(
+      "F9b UniKV update-heavy mix (10% reads), background_threads sweep",
+      {"bg_threads", "kops/s", "write_stalls", "stall_ms"});
+  for (int bg : {1, 3}) {
+    Options opt = BenchOptions();
+    opt.background_threads = bg;
+    // Tighter maintenance thresholds than the headline sweep: merges and
+    // GC must run *during* the workload, so a stalled flush queued behind
+    // them is a real possibility the scheduler has to solve.
+    opt.unsorted_limit = 2 * 1024 * 1024;
+    opt.gc_garbage_threshold = 3 * 1024 * 1024;
+    BenchDb bdb(Engine::kUniKV, opt,
+                BenchRoot("mixed_bg" + std::to_string(bg)));
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    RunLoad(&bdb, load);
+
+    MixedSpec spec;
+    spec.num_ops = Scaled(60000);
+    spec.key_space = kKeys;
+    spec.value_size = kValueSize;
+    spec.read_fraction = 0.1;
+    PhaseResult r = RunMixed(&bdb, spec);
+    PrintTableRow({std::to_string(bg), Fmt(r.kops_per_sec),
+                   std::to_string(StatsField(bdb.db(), "write_stalls")),
+                   Fmt(StatsField(bdb.db(), "stall_micros") / 1000.0)});
   }
   return 0;
 }

@@ -32,7 +32,9 @@ bool UniKVDB::HasWorkPending() {
     }
     auto git = vlog_garbage_.find(p->id);
     const uint64_t garbage = git == vlog_garbage_.end() ? 0 : git->second;
-    if (garbage >= options_.gc_garbage_threshold) return true;
+    if (garbage >= options_.gc_garbage_threshold && !p->vlogs.empty()) {
+      return true;
+    }
     if (compact_all_ && garbage > 0 && !p->vlogs.empty()) return true;
   }
   return false;
@@ -40,7 +42,7 @@ bool UniKVDB::HasWorkPending() {
 
 UniKVDB::WorkItem UniKVDB::PickWork() {
   WorkItem item;
-  if (imm_ != nullptr) {
+  if (imm_ != nullptr && !flush_in_progress_) {
     item.kind = WorkKind::kFlush;
     return item;
   }
@@ -49,6 +51,7 @@ UniKVDB::WorkItem UniKVDB::PickWork() {
   // 1. Merges (paper: UnsortedLimit reached), largest backlog first.
   uint64_t best = 0;
   for (const auto& p : ver->partitions) {
+    if (busy_partitions_.count(p->id)) continue;
     const uint64_t unsorted_bytes = p->UnsortedBytes();
     const bool want =
         unsorted_bytes >= options_.unsorted_limit ||
@@ -66,6 +69,7 @@ UniKVDB::WorkItem UniKVDB::PickWork() {
   //    sequentially).
   if (options_.enable_partitioning) {
     for (const auto& p : ver->partitions) {
+      if (busy_partitions_.count(p->id)) continue;
       if (p->LogicalBytes() >= options_.partition_size_limit) {
         if (!p->unsorted.empty()) {
           item.kind = WorkKind::kMerge;
@@ -83,6 +87,7 @@ UniKVDB::WorkItem UniKVDB::PickWork() {
   // 3. Size-based scan merge (scanMergeLimit unsorted tables).
   if (options_.enable_scan_optimization) {
     for (const auto& p : ver->partitions) {
+      if (busy_partitions_.count(p->id)) continue;
       if (static_cast<int>(p->unsorted.size()) >= options_.scan_merge_limit) {
         item.kind = WorkKind::kScanMerge;
         item.partition = p;
@@ -94,6 +99,7 @@ UniKVDB::WorkItem UniKVDB::PickWork() {
   // 4. GC: greedy — the partition with the most reclaimable garbage.
   best = 0;
   for (const auto& p : ver->partitions) {
+    if (busy_partitions_.count(p->id)) continue;
     auto git = vlog_garbage_.find(p->id);
     const uint64_t garbage = git == vlog_garbage_.end() ? 0 : git->second;
     const bool want = garbage >= options_.gc_garbage_threshold ||
@@ -107,22 +113,31 @@ UniKVDB::WorkItem UniKVDB::PickWork() {
   return item;
 }
 
-void UniKVDB::BackgroundLoop() {
+void UniKVDB::BackgroundWorker() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    bg_work_cv_.wait(lock, [this] {
-      return shutting_down_ || (bg_error_.ok() && HasWorkPending());
+    WorkItem item;
+    bg_work_cv_.wait(lock, [this, &item] {
+      if (shutting_down_) return true;
+      if (!bg_error_.ok()) return false;
+      item = PickWork();
+      return item.kind != WorkKind::kNone;
     });
     if (shutting_down_) break;
-    WorkItem item = PickWork();
-    if (item.kind == WorkKind::kNone) {
-      continue;
+
+    // Claim the job's target before releasing the mutex so no peer picks
+    // the same partition (or a second flush) while this one runs.
+    if (item.kind == WorkKind::kFlush) {
+      flush_in_progress_ = true;
+    } else {
+      busy_partitions_.insert(item.partition->id);
     }
-    bg_work_scheduled_ = true;
+    bg_jobs_running_++;
     lock.unlock();
+
     // Fold what the job itself observed (cache hits, bloom checks, table
-    // opens...) into the engine counters; the background thread has its
-    // own PerfContext, so foreground folds never see this work.
+    // opens...) into the engine counters; each worker thread has its own
+    // PerfContext, so foreground folds never see this work.
     PerfContext* perf = GetPerfContext();
     const PerfContext perf_before = *perf;
     Status s = DispatchWork(item);
@@ -131,11 +146,19 @@ void UniKVDB::BackgroundLoop() {
       RecordBackgroundError(s);
     }
     RemoveObsoleteFiles();
+
     lock.lock();
-    bg_work_scheduled_ = false;
+    if (item.kind == WorkKind::kFlush) {
+      flush_in_progress_ = false;
+    } else {
+      busy_partitions_.erase(item.partition->id);
+    }
+    bg_jobs_running_--;
     bg_cv_.notify_all();
+    // Finishing a job can unblock peers: a partition leaving the busy set
+    // may be the one a waiting worker needs.
+    bg_work_cv_.notify_all();
   }
-  bg_work_scheduled_ = false;
   bg_cv_.notify_all();
 }
 
@@ -166,18 +189,14 @@ void UniKVDB::RecordBackgroundError(const Status& s) {
 }
 
 Status UniKVDB::FlushMemTable() {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Wait out any in-flight flush first, so the active memtable (which may
-  // hold entries written while that flush ran) rotates out too.
-  bg_cv_.wait(lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
-  if (!bg_error_.ok()) return bg_error_;
-  if (mem_->NumEntries() == 0) return Status::OK();
-  Status s = SwitchWal();
+  // Rotate via the writers_ queue: a null batch is the rotation sentinel.
+  // Rotating here directly (as this method once did) swapped wal_/wal_file_
+  // under mu_ while the front group writer was appending to the same WAL
+  // with mu_ released — a use-after-free. At the queue front no concurrent
+  // append can be in flight.
+  Status s = WriteImpl(WriteOptions(), nullptr);
   if (!s.ok()) return s;
-  imm_ = mem_;
-  mem_ = new MemTable(icmp_);
-  mem_->Ref();
-  bg_work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
   bg_cv_.wait(lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
   return bg_error_;
 }
@@ -186,25 +205,20 @@ Status UniKVDB::CompactAll() {
   Status s = FlushMemTable();
   if (!s.ok()) return s;
   std::unique_lock<std::mutex> lock(mu_);
-  compact_all_ = true;
+  compact_all_++;
   bg_work_cv_.notify_all();
   bg_cv_.wait(lock, [this] {
-    return (!HasWorkPending() && !bg_work_scheduled_) || !bg_error_.ok();
+    return (!HasWorkPending() && bg_jobs_running_ == 0) || !bg_error_.ok();
   });
-  compact_all_ = false;
+  compact_all_--;
   return bg_error_;
 }
 
 // ------------------------------------------------------------------ flush
 
-Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
+Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, const VersionPtr& base,
                                         std::vector<FlushOutput>* outputs) {
-  VersionPtr ver;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ver = versions_->current();
-  }
-
+  const VersionPtr& ver = base;
   std::unique_ptr<Iterator> iter(mem->NewIterator());
   iter->SeekToFirst();
   Status s;
@@ -235,11 +249,11 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
       }
       b.out.pid = p.id;
       b.out.meta.number = number;
-      uint16_t max_id = 0;
-      for (const FileMeta& f : p.unsorted) {
-        if (f.table_id >= max_id) max_id = f.table_id + 1;
-      }
-      b.out.meta.table_id = max_id;
+      // table_id is assigned by the caller at install time, under mu_,
+      // from the then-current version: a concurrent merge may clear this
+      // partition's epoch (or a peer flush may not exist — there is only
+      // one flush at a time, but merges race with it), so an id computed
+      // from `base` here could collide or break newest-first probe order.
       s = env_->NewWritableFile(TableFileName(dbname_, number), &b.file);
       if (!s.ok()) break;
       b.builder =
@@ -270,8 +284,6 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
       b.out.meta.size = b.builder->FileSize();
       b.out.meta.smallest = b.first_key;
       b.out.meta.largest = b.last_key;
-      edit->AddUnsortedFile(pid, b.out.meta);
-      stats_.flush_bytes += b.out.meta.size;
       outputs->push_back(std::move(b.out));
     }
   }
@@ -311,22 +323,76 @@ Status WriteCheckpointFile(Env* env, const std::string& fname,
 
 }  // namespace
 
+bool UniKVDB::RoutingStillValid(const VersionData& ver,
+                                const std::vector<FlushOutput>& outputs) {
+  for (const FlushOutput& out : outputs) {
+    // Partition ranges are contiguous, so if both endpoints of the table
+    // still map to the partition it was built for, every key in between
+    // does too.
+    const int pi = ver.FindPartition(Slice(out.meta.smallest));
+    if (ver.partitions[pi]->id != out.pid) return false;
+    if (ver.FindPartition(Slice(out.meta.largest)) != pi) return false;
+  }
+  return true;
+}
+
 Status UniKVDB::CompactMemTable() {
   const uint64_t start_us = env_->NowMicros();
   MemTable* mem;
+  VersionPtr base;
   {
     std::lock_guard<std::mutex> lock(mu_);
     mem = imm_;
+    base = versions_->current();
   }
   assert(mem != nullptr);
 
-  VersionEdit edit;
   std::vector<FlushOutput> outputs;
-  Status s = FlushMemTableToUnsorted(mem, &edit, &outputs);
+  Status s = FlushMemTableToUnsorted(mem, base, &outputs);
   if (!s.ok()) return s;
 
   std::unique_lock<std::mutex> lock(mu_);
+
+  // A concurrent split may have moved partition boundaries while the
+  // tables were building; an output routed by the old boundaries could
+  // span a new partition edge and must not be installed. Discard and
+  // rebuild against the fresh version (splits are rare — in practice this
+  // loop body never runs).
+  while (!RoutingStillValid(*versions_->current(), outputs)) {
+    for (const FlushOutput& out : outputs) {
+      pending_outputs_.erase(out.meta.number);
+    }
+    outputs.clear();
+    base = versions_->current();
+    lock.unlock();
+    s = FlushMemTableToUnsorted(mem, base, &outputs);
+    lock.lock();
+    if (!s.ok()) return s;
+  }
+
+  VersionEdit edit;
   edit.SetLogNumber(wal_number_);
+
+  // Assign table ids from the current version, under the same mutex hold
+  // that installs the edit. Ids must be allocated here — not while the
+  // tables were building — because a merge may have cleared the
+  // partition's epoch (restarting ids from 0) or consumed the tables an
+  // earlier snapshot-based id was computed against; probe order depends
+  // on ids being newest-largest within the installed epoch.
+  {
+    VersionPtr cur = versions_->current();
+    for (FlushOutput& out : outputs) {
+      auto p = cur->FindById(out.pid);
+      uint16_t next_id = 0;
+      if (p != nullptr) {
+        for (const FileMeta& f : p->unsorted) {
+          if (f.table_id >= next_id) next_id = f.table_id + 1;
+        }
+      }
+      out.meta.table_id = next_id;
+      edit.AddUnsortedFile(out.pid, out.meta);
+    }
+  }
 
   // Bring the hash indexes up to date before the new version becomes
   // visible (both are installed under this same mutex hold, so readers
@@ -391,6 +457,9 @@ Status UniKVDB::CompactMemTable() {
       partition_stats_[out.pid].flushes++;
       bytes_written += out.meta.size;
     }
+    // Accounted here, under mu_, rather than in FlushMemTableToUnsorted:
+    // stats_ is mutex-guarded and the builder runs unlocked.
+    stats_.flush_bytes += bytes_written;
     JsonBuilder ev;
     ev.AddUint("duration_micros", dur);
     ev.AddUint("bytes_written", bytes_written);
@@ -600,9 +669,11 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     return s;
   }
 
-  // Install: the partition's unsorted files and previous sorted files are
+  // Install: the snapshot's unsorted files and previous sorted files are
   // replaced wholesale; old value logs stay (their dead records are GC'ed
-  // later).
+  // later). Removals are by file number, so unsorted tables flushed into
+  // this partition *while the merge ran* — which are not in the snapshot —
+  // survive the edit untouched.
   VersionEdit edit;
   for (const FileMeta& f : p->unsorted) edit.RemoveUnsortedFile(pid, f.number);
   for (const FileMeta& f : p->sorted) edit.RemoveSortedFile(pid, f.number);
@@ -616,12 +687,58 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
   edit.SetIndexCheckpoint(pid, 0);
 
   std::lock_guard<std::mutex> lock(mu_);
+
+  // Re-validate the snapshot against the current version. The busy set
+  // excludes other merges/GCs/splits on this partition, but flushes are
+  // not partition-scoped: any unsorted table present now that was not in
+  // the snapshot is a survivor, and the hash index must be rebuilt to
+  // cover exactly the survivors (the snapshot tables' entries die with
+  // the epoch).
+  std::shared_ptr<const PartitionState> cur_p =
+      versions_->current()->FindById(pid);
+  if (cur_p == nullptr) {
+    // Partition vanished (unreachable today: nothing removes partitions).
+    for (const Output& out : outputs) pending_outputs_.erase(out.meta.number);
+    if (separate) pending_outputs_.erase(vlog_number);
+    return Status::OK();
+  }
+  std::set<uint64_t> consumed;
+  for (const FileMeta& f : p->unsorted) consumed.insert(f.number);
+  std::vector<FileMeta> survivors;
+  for (const FileMeta& f : cur_p->unsorted) {
+    if (!consumed.count(f.number)) survivors.push_back(f);
+  }
+
+  // Build the replacement index before installing the edit so a failed
+  // table scan leaves both the version and the old index untouched.
+  // Survivor scans do I/O under mu_, but survivors exist only when a
+  // flush landed during this merge and each is at most one memtable.
+  std::shared_ptr<HashIndex> new_index;
+  if (!survivors.empty()) {
+    new_index = std::make_shared<HashIndex>(IndexExpectedEntries(),
+                                            options_.index_num_hashes);
+    for (const FileMeta& f : survivors) {
+      s = InsertTableIntoIndex(new_index.get(), f);
+      if (!s.ok()) {
+        for (const Output& out : outputs) {
+          pending_outputs_.erase(out.meta.number);
+        }
+        if (separate) pending_outputs_.erase(vlog_number);
+        return s;
+      }
+    }
+  }
+
   s = versions_->LogAndApply(&edit);
   for (const Output& out : outputs) pending_outputs_.erase(out.meta.number);
   if (separate) pending_outputs_.erase(vlog_number);
   if (s.ok()) {
-    auto it = indexes_.find(pid);
-    if (it != indexes_.end()) it->second->Clear();
+    if (new_index != nullptr) {
+      indexes_[pid] = new_index;
+    } else {
+      auto it = indexes_.find(pid);
+      if (it != indexes_.end()) it->second->Clear();
+    }
     flushes_since_checkpoint_[pid] = 0;
     vlog_garbage_[pid] += garbage_added;
     stats_.merges++;
@@ -638,6 +755,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     ev.AddUint("bytes_written", bytes_written);
     ev.AddUint("input_tables", p->unsorted.size() + p->sorted.size());
     ev.AddUint("output_tables", outputs.size());
+    ev.AddUint("surviving_tables", survivors.size());
     ev.AddUint("vlog_bytes", vlog_size);
     ev.AddUint("garbage_added", garbage_added);
     event_log_->Log("merge", &ev);
@@ -653,11 +771,16 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
   const uint32_t pid = p->id;
   if (p->unsorted.size() < 2) return Status::OK();
 
+  // The consolidated table reuses the *largest consumed* table_id (free
+  // to reuse — every consumed id is removed in the same edit). Taking
+  // max+1 instead would collide with, or outrank, tables flushed into the
+  // partition while this job runs: those get ids above the snapshot max
+  // and are strictly newer, so they must keep the higher probe priority.
   std::vector<Iterator*> children;
   uint16_t new_table_id = 0;
   for (const FileMeta& f : p->unsorted) {
     children.push_back(table_cache_->NewIterator(f.number, f.size));
-    if (f.table_id >= new_table_id) new_table_id = f.table_id + 1;
+    if (f.table_id > new_table_id) new_table_id = f.table_id;
   }
   std::unique_ptr<Iterator> merged(
       NewMergingIterator(icmp_, std::move(children)));
@@ -719,15 +842,41 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
   edit.SetIndexCheckpoint(pid, 0);
 
   std::lock_guard<std::mutex> lock(mu_);
+
+  // Tables flushed into this partition while the job ran survive the edit
+  // (removals are by number); the rebuilt index must cover them too.
+  std::shared_ptr<const PartitionState> cur_p =
+      versions_->current()->FindById(pid);
+  if (cur_p == nullptr) {
+    pending_outputs_.erase(number);
+    return Status::OK();
+  }
+  std::set<uint64_t> consumed;
+  for (const FileMeta& f : p->unsorted) consumed.insert(f.number);
+  std::vector<FileMeta> survivors;
+  for (const FileMeta& f : cur_p->unsorted) {
+    if (!consumed.count(f.number)) survivors.push_back(f);
+  }
+
+  // Build the replacement index before installing the edit (see
+  // MergePartition for the failure-ordering rationale).
+  auto new_index = std::make_shared<HashIndex>(IndexExpectedEntries(),
+                                               options_.index_num_hashes);
+  for (const std::string& key : keys) {
+    new_index->Insert(key, new_table_id);
+  }
+  for (const FileMeta& f : survivors) {
+    s = InsertTableIntoIndex(new_index.get(), f);
+    if (!s.ok()) {
+      pending_outputs_.erase(number);
+      return s;
+    }
+  }
+
   s = versions_->LogAndApply(&edit);
   pending_outputs_.erase(number);
   if (s.ok()) {
-    // Rebuild the hash index to point at the consolidated table.
-    auto index = GetOrCreateIndex(pid);
-    index->Clear();
-    for (const std::string& key : keys) {
-      index->Insert(key, new_table_id);
-    }
+    indexes_[pid] = new_index;
     flushes_since_checkpoint_[pid] = 0;
     stats_.scan_merges++;
     partition_stats_[pid].scan_merges++;
@@ -834,14 +983,19 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   auto flush_batch = [&]() -> Status {
     if (batch.empty()) return Status::OK();
     if (options_.enable_scan_optimization && batch.size() > 1) {
+      // Wait on this batch's own completion group, not the whole pool:
+      // the pool is shared with foreground scans, and a global WaitIdle
+      // would block GC behind an unrelated scan's fetches (and vice
+      // versa) for as long as the other caller keeps the pool busy.
+      ThreadPool::TaskGroup group;
       for (Entry& e : batch) {
         if (!e.is_pointer) continue;
-        fetch_pool_->Schedule([this, &e] {
+        fetch_pool_->Schedule(&group, [this, &e] {
           std::string stored_key;
           e.status = vlog_cache_->Get(e.ptr, &e.value, &stored_key);
         });
       }
-      fetch_pool_->WaitIdle();
+      group.Wait();
     } else {
       for (Entry& e : batch) {
         if (!e.is_pointer) continue;
@@ -943,6 +1097,30 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+
+  // Re-validate: per-partition exclusivity means no other job can have
+  // touched this partition's sorted run or value logs, but verify rather
+  // than assume — installing over a changed sorted run would lose data.
+  {
+    std::shared_ptr<const PartitionState> cur_p =
+        versions_->current()->FindById(pid);
+    bool unchanged = cur_p != nullptr &&
+                     cur_p->sorted.size() == p->sorted.size() &&
+                     cur_p->vlogs.size() == p->vlogs.size();
+    for (size_t i = 0; unchanged && i < p->sorted.size(); i++) {
+      unchanged = cur_p->sorted[i].number == p->sorted[i].number;
+    }
+    for (size_t i = 0; unchanged && i < p->vlogs.size(); i++) {
+      unchanged = cur_p->vlogs[i].number == p->vlogs[i].number;
+    }
+    if (!unchanged) {
+      assert(false && "partition changed under an exclusive GC");
+      for (const FileMeta& f : outputs) pending_outputs_.erase(f.number);
+      pending_outputs_.erase(vlog_number);
+      return Status::OK();
+    }
+  }
+
   if (TEST_gc_unsafe_delete_before_install_.load(std::memory_order_relaxed)) {
     // Deliberately wrong ordering, enabled only by the crash harness: the
     // old logs must outlive a durable manifest install (the safe path
@@ -996,13 +1174,24 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
 // ------------------------------------------------------------------ split
 
 Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
-  // Preconditions (ensured by PickWork): no unsorted tables, >= 2 sorted
-  // tables. The key split is metadata-only because the sorted run already
-  // consists of disjoint tables; values are split lazily by later GC
-  // (paper: lazy split scheme integrated with GC).
-  assert(p->unsorted.empty());
-  assert(p->sorted.size() >= 2);
+  // Preconditions: no unsorted tables, >= 2 sorted tables. The key split
+  // is metadata-only because the sorted run already consists of disjoint
+  // tables; values are split lazily by later GC (paper: lazy split scheme
+  // integrated with GC). The whole job is metadata work, so it runs under
+  // one mutex hold against the *current* partition state — the snapshot
+  // PickWork saw may be stale by now (a flush can add unsorted tables at
+  // any time, and those would straddle the boundary).
   const uint64_t start_us = env_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const PartitionState> cur_p =
+      versions_->current()->FindById(p->id);
+  if (cur_p == nullptr || !cur_p->unsorted.empty() ||
+      cur_p->sorted.size() < 2) {
+    // Preconditions no longer hold; bail out. The scheduler will merge
+    // the new unsorted data first and revisit the split.
+    return Status::OK();
+  }
+  p = cur_p;
 
   uint64_t total = 0;
   for (const FileMeta& f : p->sorted) total += f.logical;
@@ -1019,7 +1208,6 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
   if (k == 0) k = 1;
   const std::string boundary = p->sorted[k].smallest;
 
-  std::lock_guard<std::mutex> lock(mu_);
   uint32_t npid = versions_->NewPartitionId();
   VersionEdit edit;
   edit.AddPartition(npid, boundary);
@@ -1063,6 +1251,7 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
 void UniKVDB::RemoveObsoleteFiles() {
   std::set<uint64_t> live;
   uint64_t log_number, manifest_number;
+  std::vector<std::string> children;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!bg_error_.ok()) return;  // Unsure about state: keep everything.
@@ -1070,10 +1259,14 @@ void UniKVDB::RemoveObsoleteFiles() {
     live.insert(pending_outputs_.begin(), pending_outputs_.end());
     log_number = versions_->LogNumber();
     manifest_number = versions_->ManifestFileNumber();
+    // The directory listing must happen while the live set is
+    // authoritative. Peer workers register a pending output (under mu_)
+    // *before* creating the file, so any file this listing can observe is
+    // covered by the snapshot above; with the mutex dropped between the
+    // two, a peer could register and create a fresh output in the window
+    // and this sweep would delete it.
+    if (!env_->GetChildren(dbname_, &children).ok()) return;
   }
-
-  std::vector<std::string> children;
-  if (!env_->GetChildren(dbname_, &children).ok()) return;
 
   for (const std::string& child : children) {
     uint64_t number;

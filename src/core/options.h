@@ -68,6 +68,14 @@ struct Options {
   /// (the paper uses 32; scale to the machine).
   int value_fetch_threads = 8;
 
+  /// Background maintenance workers. Each worker picks one job at a time
+  /// (memtable flush, merge, scan merge, GC, or split); jobs touching the
+  /// same partition are mutually exclusive, jobs in different partitions
+  /// run in parallel, and at most one flush is in flight. 1 restores the
+  /// single-threaded scheduler (the crash harness pins this for
+  /// deterministic Env-call traces). Clamped to [1, 16] at Open.
+  int background_threads = 3;
+
   /// Persist a hash-index checkpoint every this many UnsortedStore
   /// flushes (paper: every UnsortedLimit/2 of flushed tables). 0 disables
   /// checkpointing (recovery then rebuilds the index by scanning tables).

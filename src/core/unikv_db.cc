@@ -137,6 +137,10 @@ void UniKVDB::FlushPerfPending() {
 Status DB::Scan(const ReadOptions& options, const Slice& start, int count,
                 std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
+  // Non-positive counts are an empty scan, not an error. (Callers that
+  // sized buffers from `count` have been bitten by a negative int turning
+  // into a huge size_t.)
+  if (count <= 0) return Status::OK();
   std::unique_ptr<Iterator> iter(NewIterator(options));
   for (iter->Seek(start); iter->Valid() && count > 0; iter->Next(), count--) {
     out->emplace_back(iter->key().ToString(), iter->value().ToString());
@@ -175,10 +179,10 @@ UniKVDB::~UniKVDB() {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
     bg_work_cv_.notify_all();
-    bg_cv_.wait(lock, [this] { return !bg_work_scheduled_; });
+    bg_cv_.wait(lock, [this] { return bg_jobs_running_ == 0; });
   }
-  if (bg_thread_.joinable()) {
-    bg_thread_.join();
+  for (std::thread& t : bg_threads_) {
+    if (t.joinable()) t.join();
   }
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
@@ -197,7 +201,12 @@ Status UniKVDB::Open(const Options& options, const std::string& name,
     // The destructor joins the (not yet started) background machinery.
     return s;
   }
-  db->bg_thread_ = std::thread([raw = db.get()] { raw->BackgroundLoop(); });
+  const int workers = std::clamp(db->options_.background_threads, 1, 16);
+  db->bg_threads_.reserve(workers);
+  for (int i = 0; i < workers; i++) {
+    db->bg_threads_.emplace_back(
+        [raw = db.get()] { raw->BackgroundWorker(); });
+  }
   *dbptr = db.release();
   return Status::OK();
 }
@@ -236,9 +245,24 @@ Status UniKVDB::Recover() {
   // fresh WAL.
   VersionEdit edit;
   if (mem_->NumEntries() > 0) {
+    VersionPtr base = versions_->current();
     std::vector<FlushOutput> new_tables;
-    s = FlushMemTableToUnsorted(mem_, &edit, &new_tables);
+    s = FlushMemTableToUnsorted(mem_, base, &new_tables);
     if (!s.ok()) return s;
+    // Recovery is single-threaded: `base` is still current, so the
+    // routing cannot have moved and table ids come straight from it.
+    for (FlushOutput& out : new_tables) {
+      auto p = base->FindById(out.pid);
+      uint16_t next_id = 0;
+      if (p != nullptr) {
+        for (const FileMeta& f : p->unsorted) {
+          if (f.table_id >= next_id) next_id = f.table_id + 1;
+        }
+      }
+      out.meta.table_id = next_id;
+      edit.AddUnsortedFile(out.pid, out.meta);
+      stats_.flush_bytes += out.meta.size;
+    }
     mem_->Unref();
     mem_ = new MemTable(icmp_);
     mem_->Ref();
@@ -432,11 +456,15 @@ Status UniKVDB::WriteImpl(const WriteOptions& options, WriteBatch* updates) {
     return w.status;
   }
 
-  // This writer is responsible for the group at the queue front.
-  Status status = MakeRoomForWrite(lock);
+  // This writer is responsible for the group at the queue front. A null
+  // batch is the manual-flush sentinel: it forces a rotation and carries
+  // no payload. Routing the rotation through the queue front is what
+  // makes it safe — no concurrent group writer can be appending to the
+  // WAL being retired.
+  Status status = MakeRoomForWrite(lock, /*force=*/updates == nullptr);
   SequenceNumber last_sequence = versions_->LastSequence();
   Writer* last_writer = &w;
-  if (status.ok()) {
+  if (status.ok() && updates != nullptr) {
     WriteBatch* write_batch = BuildBatchGroup(&last_writer);
     write_batch->SetSequence(last_sequence + 1);
     last_sequence += write_batch->Count();
@@ -506,17 +534,21 @@ WriteBatch* UniKVDB::BuildBatchGroup(Writer** last_writer) {
     if (w->sync && !first->sync) {
       break;  // Do not include a sync write into a non-sync group.
     }
-    if (w->batch != nullptr) {
-      size += w->batch->ApproximateSize();
-      if (size > max_size) break;
-      if (result == first->batch) {
-        // Switch to a temporary batch instead of disturbing the caller's.
-        result = &batch_group_scratch_;
-        assert(result->Count() == 0);
-        result->Append(*first->batch);
-      }
-      result->Append(*w->batch);
+    if (w->batch == nullptr) {
+      // A manual-flush sentinel: it must reach the queue front itself to
+      // run its rotation. Absorbing it into this group would mark it done
+      // without ever rotating.
+      break;
     }
+    size += w->batch->ApproximateSize();
+    if (size > max_size) break;
+    if (result == first->batch) {
+      // Switch to a temporary batch instead of disturbing the caller's.
+      result = &batch_group_scratch_;
+      assert(result->Count() == 0);
+      result->Append(*first->batch);
+    }
+    result->Append(*w->batch);
     *last_writer = w;
   }
   return result;
@@ -541,30 +573,38 @@ Status UniKVDB::SwitchWal() {
   return Status::OK();
 }
 
-Status UniKVDB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+Status UniKVDB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
+                                 bool force) {
   while (true) {
     if (!bg_error_.ok()) {
       return bg_error_;
     }
-    if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+    if (!force &&
+        mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       return Status::OK();
     }
+    if (force && mem_->NumEntries() == 0) {
+      return Status::OK();  // Nothing to rotate out.
+    }
     if (imm_ != nullptr) {
-      // The previous memtable is still being flushed: wait. Each wait is
-      // one stall episode; stall_micros reaches the registry through the
-      // PerfContext fold in Write().
+      // The previous memtable is still being flushed: wait. For normal
+      // writes each wait is one stall episode; stall_micros reaches the
+      // registry through the PerfContext fold in Write(). A forced
+      // rotation (manual flush) waiting here is not a write stall.
       const uint64_t stall_start = env_->NowMicros();
       bg_work_cv_.notify_all();
       bg_cv_.wait(lock);
-      const uint64_t waited = env_->NowMicros() - stall_start;
-      stats_.write_stalls++;
-      stats_.stall_micros += waited;
-      metrics_.write_stalls->Inc();
-      GetPerfContext()->write_stall_micros += waited;
+      if (!force) {
+        const uint64_t waited = env_->NowMicros() - stall_start;
+        stats_.write_stalls++;
+        stats_.stall_micros += waited;
+        metrics_.write_stalls->Inc();
+        GetPerfContext()->write_stall_micros += waited;
+      }
       continue;
     }
     // Switch to a new memtable + WAL and hand the old one to the
-    // background thread.
+    // background workers.
     Status s = SwitchWal();
     if (!s.ok()) return s;
     imm_ = mem_;
@@ -831,6 +871,10 @@ Status UniKVDB::ScanImpl(const ReadOptions& options, const Slice& start,
                          int count,
                          std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
+  // Match DB::Scan: non-positive counts are an empty scan. Without the
+  // clamp a negative `count` flows into entries.reserve() below, where it
+  // converts to a near-SIZE_MAX size_t.
+  if (count <= 0) return Status::OK();
   if (!options_.enable_scan_optimization) {
     return DB::Scan(options, start, count, out);
   }
@@ -850,7 +894,9 @@ Status UniKVDB::ScanImpl(const ReadOptions& options, const Slice& start,
     Status status;
   };
   std::vector<PendingEntry> entries;
-  entries.reserve(count);
+  // The reserve is a hint only: cap it so a huge requested count (larger
+  // than the store) does not pre-allocate gigabytes.
+  entries.reserve(std::min<size_t>(count, 4096));
 
   for (iter.Seek(start); iter.Valid() && count > 0; iter.Next(), count--) {
     PendingEntry e;
@@ -945,16 +991,20 @@ Status UniKVDB::ScanImpl(const ReadOptions& options, const Slice& start,
   // fragmented the runs are.
   const int workers = fetch_pool_->num_threads();
   if (groups.size() > 8 && workers > 1) {
+    // The pool is shared with background GC (and concurrent scans), so
+    // wait on this call's own completion group — a global WaitIdle would
+    // block this scan behind every other caller's outstanding fetches.
+    ThreadPool::TaskGroup group;
     const size_t chunk = (groups.size() + workers - 1) / workers;
     for (size_t begin = 0; begin < groups.size(); begin += chunk) {
       size_t end = std::min(begin + chunk, groups.size());
-      fetch_pool_->Schedule([&fetch_group, &groups, begin, end] {
+      fetch_pool_->Schedule(&group, [&fetch_group, &groups, begin, end] {
         for (size_t i = begin; i < end; i++) {
           fetch_group(&groups[i]);
         }
       });
     }
-    fetch_pool_->WaitIdle();
+    group.Wait();
   } else {
     for (Group& g : groups) {
       fetch_group(&g);
@@ -1039,14 +1089,22 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
     return true;
   }
   if (property == Slice("db.sstables")) {
+    // Built with string appends: user keys have no length limit, so a
+    // fixed snprintf buffer would silently truncate long lower bounds
+    // (and everything after them on the line).
     std::string result;
     for (const auto& p : ver->partitions) {
-      std::snprintf(buf, sizeof(buf),
-                    "partition %u [%s..): unsorted=%zu sorted=%zu vlogs=%zu\n",
-                    p->id,
-                    p->lower_bound.empty() ? "-inf" : p->lower_bound.c_str(),
-                    p->unsorted.size(), p->sorted.size(), p->vlogs.size());
-      result += buf;
+      result += "partition ";
+      result += std::to_string(p->id);
+      result += " [";
+      result += p->lower_bound.empty() ? std::string("-inf") : p->lower_bound;
+      result += "..): unsorted=";
+      result += std::to_string(p->unsorted.size());
+      result += " sorted=";
+      result += std::to_string(p->sorted.size());
+      result += " vlogs=";
+      result += std::to_string(p->vlogs.size());
+      result += '\n';
     }
     *value = std::move(result);
     return true;
@@ -1100,11 +1158,16 @@ std::string UniKVDB::MetricsTextLocked(const VersionData& ver) {
     auto git = vlog_garbage_.find(p->id);
     if (git != vlog_garbage_.end()) garbage = git->second;
     const uint64_t vlog_bytes = p->VlogBytes();
+    // The lower bound is an arbitrary user key and goes through string
+    // appends; only the fixed-width numeric tail uses the snprintf buffer.
+    result += "partition ";
+    result += std::to_string(p->id);
+    result += " [";
+    result += p->lower_bound.empty() ? std::string("-inf") : p->lower_bound;
     std::snprintf(
         buf, sizeof(buf),
-        "partition %u [%s..): unsorted=%zu/%.1fMB sorted=%zu/%.1fMB"
+        "..): unsorted=%zu/%.1fMB sorted=%zu/%.1fMB"
         " logical=%.1fMB vlogs=%zu/%.1fMB garbage=%.1fMB (%.0f%%)\n",
-        p->id, p->lower_bound.empty() ? "-inf" : p->lower_bound.c_str(),
         p->unsorted.size(), p->UnsortedBytes() / 1048576.0, p->sorted.size(),
         p->SortedBytes() / 1048576.0, p->LogicalBytes() / 1048576.0,
         p->vlogs.size(), vlog_bytes / 1048576.0, garbage / 1048576.0,

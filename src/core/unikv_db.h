@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/db.h"
 #include "core/dbformat.h"
@@ -154,7 +155,11 @@ class UniKVDB : public DB {
   Status RebuildHashIndexes();
   Status InsertTableIntoIndex(HashIndex* index, const FileMeta& f);
 
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  /// Ensures mem_ has room (rotating memtable+WAL when full). With
+  /// `force`, rotates a non-empty memtable unconditionally — the manual
+  /// FlushMemTable path. Only the front writer calls this, so the WAL is
+  /// never rotated under a concurrent AddRecord.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force);
   WriteBatch* BuildBatchGroup(Writer** last_writer);
   Status SwitchWal();
 
@@ -192,9 +197,23 @@ class UniKVDB : public DB {
   };
 
   void MaybeScheduleWork();
-  void BackgroundLoop();
-  WorkItem PickWork();     // Requires mu_ held.
-  bool HasWorkPending();   // Requires mu_ held.
+
+  /// Body of one background worker thread. `options_.background_threads`
+  /// of these run concurrently; each picks one schedulable job at a time
+  /// (PickWork skips busy partitions), marks its target busy, and executes
+  /// it with mu_ released. Jobs in different partitions proceed in
+  /// parallel; jobs on the same partition — and concurrent flushes — are
+  /// mutually exclusive.
+  void BackgroundWorker();
+
+  /// Next schedulable job: skips partitions in busy_partitions_ and the
+  /// flush when one is already in flight. Requires mu_ held.
+  WorkItem PickWork();
+
+  /// Whether *any* work remains (pending or currently running elsewhere's
+  /// preconditions still hold) — the raw threshold check, ignoring the
+  /// busy set. CompactAll drains on this. Requires mu_ held.
+  bool HasWorkPending();
   Status DispatchWork(const WorkItem& item);
 
   struct FlushOutput {
@@ -203,11 +222,20 @@ class UniKVDB : public DB {
     std::vector<std::string> keys;  // Deduplicated user keys, table order.
   };
 
-  /// Flushes `mem` contents to per-partition UnsortedStore tables and
-  /// fills *edit + *outputs. Called without holding mu_ (takes it briefly
-  /// for metadata allocation). Does not touch the hash indexes.
-  Status FlushMemTableToUnsorted(MemTable* mem, VersionEdit* edit,
+  /// Flushes `mem` contents to per-partition UnsortedStore tables routed
+  /// by `base`'s partition boundaries and fills *outputs. Called without
+  /// holding mu_ (takes it briefly for file-number allocation). Does not
+  /// assign table_ids, build an edit, or touch the hash indexes — the
+  /// caller does that under mu_ after re-validating the routing against
+  /// the then-current version (a concurrent split may have moved
+  /// boundaries while the tables were being built).
+  Status FlushMemTableToUnsorted(MemTable* mem, const VersionPtr& base,
                                  std::vector<FlushOutput>* outputs);
+
+  /// True iff every output's [smallest, largest] still maps to the
+  /// partition it was built for in `ver`. Requires mu_ held.
+  bool RoutingStillValid(const VersionData& ver,
+                         const std::vector<FlushOutput>& outputs);
   Status CompactMemTable();
 
   Status MergePartition(std::shared_ptr<const PartitionState> p);
@@ -268,12 +296,23 @@ class UniKVDB : public DB {
 
   std::set<uint64_t> pending_outputs_;
   Status bg_error_;
-  bool bg_work_scheduled_ = false;
+
+  /// Background jobs currently executing across all workers. CompactAll,
+  /// FlushMemTable, and the destructor drain on this reaching zero.
+  int bg_jobs_running_ = 0;
+  /// Partitions with a merge/scan-merge/GC/split in flight; PickWork
+  /// skips them so same-partition jobs never overlap.
+  std::set<uint32_t> busy_partitions_;
+  /// At most one memtable flush runs at a time (there is only one imm_).
+  bool flush_in_progress_ = false;
+
   bool shutting_down_ = false;
-  bool compact_all_ = false;
+  /// Count of CompactAll callers currently draining; while nonzero the
+  /// scheduler compacts below the usual thresholds.
+  int compact_all_ = 0;
   UniKVStats stats_;
 
-  std::thread bg_thread_;
+  std::vector<std::thread> bg_threads_;
 
   size_t IndexExpectedEntries() const {
     size_t n = options_.unsorted_limit / options_.index_expected_entry_size;

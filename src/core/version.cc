@@ -27,6 +27,14 @@ int VersionData::FindPartition(const Slice& user_key) const {
   return lo;
 }
 
+std::shared_ptr<const PartitionState> VersionData::FindById(
+    uint32_t pid) const {
+  for (const auto& p : partitions) {
+    if (p->id == pid) return p;
+  }
+  return nullptr;
+}
+
 void VersionData::AddLiveFiles(std::set<uint64_t>* live) const {
   for (const auto& p : partitions) {
     for (const auto& f : p->unsorted) live->insert(f.number);

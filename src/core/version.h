@@ -97,6 +97,12 @@ struct VersionData {
   /// Index of the partition responsible for `user_key`.
   int FindPartition(const Slice& user_key) const;
 
+  /// The partition with id `pid`, or nullptr if no such partition exists
+  /// in this version. Background jobs use this to re-validate a
+  /// PartitionState snapshot against the current version before
+  /// installing their edit.
+  std::shared_ptr<const PartitionState> FindById(uint32_t pid) const;
+
   void AddLiveFiles(std::set<uint64_t>* live) const;
 };
 

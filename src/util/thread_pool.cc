@@ -29,6 +29,16 @@ void ThreadPool::Schedule(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::Schedule(TaskGroup* group, std::function<void()> task) {
+  // Count the task before it becomes runnable so a Wait() issued right
+  // after Schedule() can never slip past an unstarted task.
+  group->TaskStarted();
+  Schedule([group, task = std::move(task)] {
+    task();
+    group->TaskFinished();
+  });
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> l(mu_);
   idle_cv_.wait(l, [this] { return queue_.empty() && active_ == 0; });

@@ -13,8 +13,48 @@ namespace unikv {
 /// A fixed-size pool of worker threads draining a FIFO task queue. UniKV
 /// uses it for parallel value fetches during scans (the paper uses a
 /// 32-thread pool) and for background GC reads.
+///
+/// The pool is shared by concurrent requests (foreground scans and
+/// background GC batches at the same time), so callers that need to wait
+/// for *their* tasks — and only theirs — schedule them through a
+/// TaskGroup. WaitIdle() waits for the whole pool and is only appropriate
+/// when the caller owns every outstanding task (tests, shutdown).
 class ThreadPool {
  public:
+  /// Completion latch for one caller's batch of tasks. Schedule tasks
+  /// through Schedule(&group, ...) and then Wait(); tasks submitted by
+  /// other callers (other groups, or groupless Schedule) do not delay the
+  /// wait. A group is reusable after Wait() returns and must outlive every
+  /// task scheduled through it.
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Blocks until every task scheduled through this group has finished.
+    void Wait() {
+      std::unique_lock<std::mutex> l(mu_);
+      done_cv_.wait(l, [this] { return pending_ == 0; });
+    }
+
+   private:
+    friend class ThreadPool;
+
+    void TaskStarted() {
+      std::lock_guard<std::mutex> l(mu_);
+      pending_++;
+    }
+    void TaskFinished() {
+      std::lock_guard<std::mutex> l(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    int pending_ = 0;
+  };
+
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
@@ -24,7 +64,13 @@ class ThreadPool {
   /// Enqueues a task; wakes a sleeping worker.
   void Schedule(std::function<void()> task);
 
+  /// Enqueues a task attributed to `group`; the group's Wait() returns
+  /// only after the task finishes (or the pool destructor drains it).
+  void Schedule(TaskGroup* group, std::function<void()> task);
+
   /// Blocks until the queue is empty and all in-flight tasks finished.
+  /// Waits on the *whole pool*: a concurrent caller's tasks delay this
+  /// return. Prefer TaskGroup for per-request completion.
   void WaitIdle();
 
   int num_threads() const { return static_cast<int>(threads_.size()); }

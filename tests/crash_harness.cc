@@ -85,6 +85,10 @@ Options CrashHarness::MakeOptions(Env* env) const {
   o.sorted_table_size = 2 * 1024;     // Several sorted tables per merge.
   o.index_checkpoint_interval = 2;
   o.value_fetch_threads = 2;
+  // One worker keeps the Env-call trace deterministic: with several, the
+  // interleaving of per-partition jobs varies run to run and the counted
+  // crash-point replay would diverge.
+  o.background_threads = 1;
   return o;
 }
 

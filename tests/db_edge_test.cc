@@ -76,6 +76,43 @@ TEST_F(DbEdgeTest, ScanEdgeCases) {
   // Count exceeding the live set returns everything.
   ASSERT_TRUE(db_->Scan(ReadOptions(), "", 1000, &out).ok());
   EXPECT_EQ(50u, out.size());
+
+  // Negative counts are an empty scan, not an error. Regression: the
+  // optimized scan path once fed `count` straight into a reserve(), where
+  // a negative int converts to a near-SIZE_MAX size_t.
+  ASSERT_TRUE(db_->Scan(ReadOptions(), "", -1, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(db_->Scan(ReadOptions(), test::TestKey(0), -1000000, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  // A huge positive count must not pre-allocate for `count` entries.
+  ASSERT_TRUE(
+      db_->Scan(ReadOptions(), "", 2000000000, &out).ok());
+  EXPECT_EQ(50u, out.size());
+}
+
+TEST_F(DbEdgeTest, ScanBoundsOnSeparatedValues) {
+  // Same bounds but with values big enough to be separated into the value
+  // logs, so the scan exercises the parallel-fetch path end to end.
+  Options opt = SmallOptions();
+  opt.value_separation_threshold = 32;
+  Open(opt, "edge_scan_separated");
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 256))
+            .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db_->Scan(ReadOptions(), "", -7, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(db_->Scan(ReadOptions(), "", 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(db_->Scan(ReadOptions(), "", 1000000000, &out).ok());
+  ASSERT_EQ(200u, out.size());
+  EXPECT_EQ(test::TestValue(0, 256), out[0].second);
+  EXPECT_EQ(test::TestValue(199, 256), out[199].second);
 }
 
 TEST_F(DbEdgeTest, HugeWriteBatch) {

@@ -169,6 +169,53 @@ TEST_F(DbMetricsTest, GetPropertyContract) {
   EXPECT_NE(value.find("stall_micros="), std::string::npos);
 }
 
+TEST_F(DbMetricsTest, PropertiesRenderLongPartitionBounds) {
+  // Regression: db.sstables and db.metrics used to render partition lines
+  // through a fixed snprintf buffer, silently truncating a long partition
+  // lower bound and everything after it on the line. Force a split with
+  // long keys so a partition's lower bound is itself a long key, then
+  // check every partition line is complete.
+  Options opt = SmallOptions();
+  opt.partition_size_limit = 128 * 1024;
+  opt.sorted_table_size = 16 * 1024;
+  OpenDb(opt, "_longkeys");
+  const std::string prefix(300, 'k');
+  for (int i = 0; i < 600; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), prefix + test::TestKey(i),
+                         test::TestValue(i, 256))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  std::string np;
+  ASSERT_TRUE(db_->GetProperty("db.num-partitions", &np));
+  ASSERT_GE(std::stoi(np), 2) << "split did not happen; test is vacuous";
+
+  std::string tables;
+  ASSERT_TRUE(db_->GetProperty("db.sstables", &tables));
+  // The split partition's lower bound is one of the long keys and must
+  // appear in full.
+  EXPECT_NE(tables.find(prefix), std::string::npos) << tables;
+  // Every partition line must survive past its bound: "[<bound>..):" and
+  // the trailing counters.
+  size_t start = 0;
+  int lines = 0;
+  while (start < tables.size()) {
+    size_t end = tables.find('\n', start);
+    if (end == std::string::npos) end = tables.size();
+    std::string line = tables.substr(start, end - start);
+    EXPECT_NE(line.find("..): unsorted="), std::string::npos) << line;
+    EXPECT_NE(line.find(" vlogs="), std::string::npos) << line;
+    lines++;
+    start = end + 1;
+  }
+  EXPECT_GE(lines, 2);
+
+  // The human-readable metrics text renders the same bounds.
+  std::string text;
+  ASSERT_TRUE(db_->GetProperty("db.metrics", &text));
+  EXPECT_NE(text.find(prefix), std::string::npos);
+}
+
 TEST_F(DbMetricsTest, ScanAndWriteCountersAdvance) {
   OpenDb(SmallOptions(), "_ops");
   PerfContext* perf = GetPerfContext();

@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 namespace unikv {
 namespace {
@@ -68,6 +71,77 @@ TEST(ThreadPool, MinimumOneThread) {
   pool.Schedule([&count] { count.fetch_add(1); });
   pool.WaitIdle();
   EXPECT_EQ(1, count.load());
+}
+
+TEST(ThreadPool, TaskGroupWaitsForItsTasks) {
+  ThreadPool pool(4);
+  ThreadPool::TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; i++) {
+    pool.Schedule(&group, [&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(200, count.load());
+}
+
+TEST(ThreadPool, TaskGroupReusableAcrossWaves) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group;
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 3; wave++) {
+    for (int i = 0; i < 50; i++) {
+      pool.Schedule(&group, [&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ((wave + 1) * 50, count.load());
+  }
+}
+
+TEST(ThreadPool, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group;
+  group.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+// Regression: two concurrent users of one shared pool must not wait on
+// each other's tasks. With the old global WaitIdle() flow, the fast
+// caller's wait would block on the slow caller's still-running task —
+// this test then hangs until the ctest timeout.
+TEST(ThreadPool, GroupWaitIgnoresOtherCallersTasks) {
+  ThreadPool pool(2);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release_slow = false;
+  std::atomic<bool> slow_running{false};
+
+  ThreadPool::TaskGroup slow_group;
+  pool.Schedule(&slow_group, [&] {
+    slow_running.store(true);
+    std::unique_lock<std::mutex> l(mu);
+    cv.wait(l, [&] { return release_slow; });
+  });
+  while (!slow_running.load()) {
+    std::this_thread::yield();
+  }
+
+  // The fast caller's group completes even though the pool is not idle.
+  ThreadPool::TaskGroup fast_group;
+  std::atomic<int> fast_done{0};
+  for (int i = 0; i < 10; i++) {
+    pool.Schedule(&fast_group, [&fast_done] { fast_done.fetch_add(1); });
+  }
+  fast_group.Wait();
+  EXPECT_EQ(10, fast_done.load());
+  EXPECT_TRUE(slow_running.load());
+
+  {
+    std::lock_guard<std::mutex> l(mu);
+    release_slow = true;
+  }
+  cv.notify_all();
+  slow_group.Wait();
 }
 
 }  // namespace
