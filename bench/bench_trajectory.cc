@@ -1,0 +1,85 @@
+// The canonical perf-trajectory suite: a fixed fill -> mixed -> scan run
+// and a fixed fill -> YCSB A/B/C run against UniKV, each persisted as a
+// schema-versioned BENCH_<workload>.json (current directory by default,
+// $UNIKV_BENCH_OUT to redirect). Run it from the repo root after perf
+// work so the repo's performance over time accumulates in-tree:
+//
+//   ./build/bench/bench_trajectory
+//
+// Op counts scale with UNIKV_BENCH_SCALE like every other bench.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace unikv {
+namespace bench {
+namespace {
+
+void RunMixedTrajectory(const std::string& root) {
+  const uint64_t keys = Scaled(20000);
+  BenchDb bdb(Engine::kUniKV, BenchOptions(), root);
+
+  std::vector<PhaseResult> phases;
+  LoadSpec load;
+  load.num_keys = keys;
+  load.value_size = 1024;
+  phases.push_back(RunLoad(&bdb, load));
+
+  MixedSpec mixed;
+  mixed.num_ops = Scaled(30000);
+  mixed.key_space = keys;
+  mixed.value_size = 1024;
+  mixed.read_fraction = 0.5;
+  phases.push_back(RunMixed(&bdb, mixed));
+
+  ScanSpec scan;
+  scan.num_ops = Scaled(300);
+  scan.scan_len = 100;
+  scan.key_space = keys;
+  phases.push_back(RunScans(&bdb, scan));
+
+  for (const PhaseResult& r : phases) {
+    std::printf("[mixed/%s] %.1f kops/s over %llu ops\n", r.phase.c_str(),
+                r.kops_per_sec, static_cast<unsigned long long>(r.ops));
+  }
+  WriteBenchTrajectory("mixed", &bdb, phases);
+}
+
+void RunYcsbTrajectory(const std::string& root) {
+  const uint64_t keys = Scaled(20000);
+  BenchDb bdb(Engine::kUniKV, BenchOptions(), root);
+
+  std::vector<PhaseResult> phases;
+  LoadSpec load;
+  load.num_keys = keys;
+  load.value_size = 1024;
+  phases.push_back(RunLoad(&bdb, load));
+
+  for (char w : {'A', 'B', 'C'}) {
+    YcsbRunSpec spec;
+    spec.workload = w;
+    spec.num_ops = Scaled(15000);
+    spec.key_space = keys;
+    spec.value_size = 1024;
+    phases.push_back(RunYcsb(&bdb, spec));
+  }
+
+  for (const PhaseResult& r : phases) {
+    std::printf("[ycsb/%s] %.1f kops/s over %llu ops\n", r.phase.c_str(),
+                r.kops_per_sec, static_cast<unsigned long long>(r.ops));
+  }
+  WriteBenchTrajectory("ycsb", &bdb, phases);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace unikv
+
+int main() {
+  using namespace unikv::bench;
+  RunMixedTrajectory(BenchRoot("trajectory_mixed"));
+  RunYcsbTrajectory(BenchRoot("trajectory_ycsb"));
+  return 0;
+}

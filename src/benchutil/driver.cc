@@ -3,8 +3,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "baseline/baselines.h"
+#include "util/metrics.h"
 
 namespace unikv {
 namespace bench {
@@ -331,15 +333,194 @@ void PrintPhasePerf(const char* engine, const PhaseResult& r) {
   std::fflush(stdout);
 }
 
+namespace {
+
+/// Writes `contents` to `path`, replacing it. fwrite/fclose results are
+/// checked: a short write yields a loud warning rather than a silently
+/// truncated artifact that looks complete.
+bool WriteFileWarnOnError(const std::string& path,
+                          const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool write_ok = (n == contents.size());
+  const bool close_ok = (std::fclose(f) == 0);
+  if (!write_ok || !close_ok) {
+    std::fprintf(stderr,
+                 "warning: truncated write to %s (%zu/%zu bytes%s)\n",
+                 path.c_str(), n, contents.size(),
+                 close_ok ? "" : ", close failed");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string DumpMetricsJson(BenchDb* bdb) {
   std::string json;
   if (!bdb->db()->GetProperty("db.metrics.json", &json)) return "";
+  json.push_back('\n');
   std::string path = bdb->path() + ".metrics.json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return "";
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  return WriteFileWarnOnError(path, json) ? path : "";
+}
+
+// --------------------------------------------- benchmark trajectory JSON
+
+namespace {
+
+std::string HistogramJson(const Histogram& h) {
+  JsonBuilder j;
+  j.AddUint("count", h.Count());
+  j.AddDouble("avg", h.Average());
+  j.AddDouble("p50", h.Percentile(50));
+  j.AddDouble("p95", h.Percentile(95));
+  j.AddDouble("p99", h.Percentile(99));
+  j.AddDouble("p999", h.Percentile(99.9));
+  j.AddDouble("min", h.Count() > 0 ? h.Min() : 0);
+  j.AddDouble("max", h.Count() > 0 ? h.Max() : 0);
+  return j.Finish();
+}
+
+const char* SanitizerState() {
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+const char* BuildType() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Extracts `field=<number>` from the db.stats text property (0 when the
+/// engine lacks the property or the field).
+uint64_t StatsFieldValue(DB* db, const std::string& field) {
+  std::string stats;
+  if (!db->GetProperty("db.stats", &stats)) return 0;
+  const size_t pos = stats.find(field + "=");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(stats.c_str() + pos + field.size() + 1, nullptr, 10);
+}
+
+}  // namespace
+
+std::string BenchTrajectoryJson(const std::string& workload, BenchDb* bdb,
+                                const std::vector<PhaseResult>& phases) {
+  JsonBuilder root;
+  root.AddUint("schema_version", kBenchJsonSchemaVersion);
+  root.AddString("workload", workload);
+  root.AddString("engine", EngineName(bdb->engine()));
+  root.AddUint("ts_micros", Env::Default()->NowMicros());
+
+  JsonBuilder environment;
+  environment.AddUint("cores", std::thread::hardware_concurrency());
+  environment.AddString("build_type", BuildType());
+  environment.AddString("sanitizer", SanitizerState());
+  environment.AddDouble("bench_scale", BenchScale());
+  environment.AddUint("pointer_bits", sizeof(void*) * 8);
+  root.AddRaw("environment", environment.Finish());
+
+  const Options& opt = bdb->options();
+  JsonBuilder params;
+  params.AddUint("write_buffer_size", opt.write_buffer_size);
+  params.AddUint("block_cache_size", opt.block_cache_size);
+  params.AddUint("unsorted_limit", opt.unsorted_limit);
+  params.AddUint("partition_size_limit", opt.partition_size_limit);
+  params.AddUint("sorted_table_size", opt.sorted_table_size);
+  params.AddUint("gc_garbage_threshold", opt.gc_garbage_threshold);
+  params.AddUint("value_separation_threshold",
+                 opt.value_separation_threshold);
+  params.AddInt("value_fetch_threads", opt.value_fetch_threads);
+  params.AddInt("background_threads", opt.background_threads);
+  root.AddRaw("params", params.Finish());
+
+  std::string phase_array = "[";
+  double total_seconds = 0;
+  uint64_t total_ops = 0, total_written = 0, total_read = 0;
+  bool first = true;
+  for (const PhaseResult& r : phases) {
+    total_seconds += r.seconds;
+    total_ops += r.ops;
+    total_written += r.bytes_written;
+    total_read += r.bytes_read;
+    JsonBuilder pj;
+    pj.AddString("phase", r.phase);
+    pj.AddUint("ops", r.ops);
+    pj.AddDouble("seconds", r.seconds);
+    pj.AddDouble("kops_per_sec", r.kops_per_sec);
+    pj.AddRaw("latency_us", HistogramJson(r.latency_us));
+    pj.AddUint("bytes_written", r.bytes_written);
+    pj.AddUint("bytes_read", r.bytes_read);
+    pj.AddUint("user_bytes", r.user_bytes);
+    pj.AddDouble("write_amp", r.write_amp);
+    pj.AddDouble("read_amp", r.read_amp);
+    if (!first) phase_array += ',';
+    first = false;
+    phase_array += pj.Finish();
+  }
+  phase_array += ']';
+  root.AddRaw("phases", phase_array);
+
+  JsonBuilder totals;
+  totals.AddUint("ops", total_ops);
+  totals.AddDouble("seconds", total_seconds);
+  totals.AddDouble("ops_per_sec",
+                   total_seconds > 0 ? total_ops / total_seconds : 0);
+  totals.AddUint("bytes_written", total_written);
+  totals.AddUint("bytes_read", total_read);
+  root.AddRaw("totals", totals.Finish());
+
+  JsonBuilder stalls;
+  stalls.AddUint("write_stalls", StatsFieldValue(bdb->db(), "write_stalls"));
+  stalls.AddUint("stall_micros", StatsFieldValue(bdb->db(), "stall_micros"));
+  root.AddRaw("stalls", stalls.Finish());
+
+  // The live engine's full metrics surface — the in-engine latency
+  // histograms (get/write/scan/..., with p50..p999) live here under
+  // engine_metrics.engine.histograms. null for engines without the
+  // property (baselines).
+  std::string engine_json;
+  if (!bdb->db()->GetProperty("db.metrics.json", &engine_json)) {
+    engine_json = "null";
+  }
+  root.AddRaw("engine_metrics", engine_json);
+  return root.Finish();
+}
+
+std::string WriteBenchTrajectory(const std::string& workload, BenchDb* bdb,
+                                 const std::vector<PhaseResult>& phases,
+                                 const std::string& out_dir) {
+  std::string dir = out_dir;
+  if (dir.empty()) {
+    const char* env_dir = std::getenv("UNIKV_BENCH_OUT");
+    dir = (env_dir != nullptr && env_dir[0] != '\0') ? env_dir : ".";
+  }
+  std::string json = BenchTrajectoryJson(workload, bdb, phases);
+  json.push_back('\n');
+  const std::string path = dir + "/BENCH_" + workload + ".json";
+  if (!WriteFileWarnOnError(path, json)) return "";
+  std::printf("wrote %s\n", path.c_str());
+  std::fflush(stdout);
   return path;
 }
 

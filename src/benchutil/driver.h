@@ -141,6 +141,32 @@ void PrintPhasePerf(const char* engine, const PhaseResult& r);
 /// support the property. Returns the path written, or "" on failure.
 std::string DumpMetricsJson(BenchDb* bdb);
 
+/// Benchmark-trajectory emitter. Every bench run can persist a
+/// schema-versioned JSON document capturing what ran, where, and how
+/// fast, so the repo's performance over time is diffable. The schema is
+/// documented in DESIGN.md §9 ("Observability v2").
+
+/// Bumped whenever a field in the BENCH JSON changes shape.
+constexpr int kBenchJsonSchemaVersion = 1;
+
+/// Renders the BENCH JSON document for one workload run: schema_version,
+/// workload name, engine, environment (cores, build type, sanitizer,
+/// bench scale), engine params, per-phase results (driver-side latency
+/// histograms, throughput, write/read amp), run totals, stall totals,
+/// and the live DB's full db.metrics.json (in-engine histograms with
+/// p50/p95/p99/p999) under "engine_metrics".
+std::string BenchTrajectoryJson(const std::string& workload, BenchDb* bdb,
+                                const std::vector<PhaseResult>& phases);
+
+/// Writes BenchTrajectoryJson() to `<out_dir>/BENCH_<workload>.json`.
+/// With an empty `out_dir`, $UNIKV_BENCH_OUT is used when set, else the
+/// current directory (run the trajectory suite from the repo root to
+/// accumulate BENCH_*.json there). Returns the path written, or "" on
+/// failure (a warning is printed; failures never abort the bench).
+std::string WriteBenchTrajectory(const std::string& workload, BenchDb* bdb,
+                                 const std::vector<PhaseResult>& phases,
+                                 const std::string& out_dir = "");
+
 /// Prints a paper-style table: header row then one row per entry.
 void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);

@@ -454,7 +454,14 @@ Status UniKVDB::CompactMemTable() {
     metrics_.flush_latency->Add(static_cast<double>(dur));
     uint64_t bytes_written = 0;
     for (const FlushOutput& out : outputs) {
-      partition_stats_[out.pid].flushes++;
+      PartitionCounters& pc = partition_stats_[out.pid];
+      pc.flushes++;
+      pc.flush_bytes += out.meta.size;
+      // Heat + write-amp inputs: entries and logical user bytes landing
+      // in the partition. Flush routing is where keys first meet
+      // partition boundaries, so update frequency is measured here.
+      pc.heat_writes += out.keys.size();
+      pc.user_bytes_flushed += out.meta.logical;
       bytes_written += out.meta.size;
     }
     // Accounted here, under mu_, rather than in FlushMemTableToUnsorted:
@@ -745,6 +752,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     stats_.merge_bytes_read += bytes_read;
     stats_.merge_bytes_written += bytes_written;
     partition_stats_[pid].merges++;
+    partition_stats_[pid].merge_bytes_written += bytes_written;
 
     const uint64_t dur = env_->NowMicros() - start_us;
     metrics_.merge_latency->Add(static_cast<double>(dur));
@@ -1154,6 +1162,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
     stats_.gc_bytes_read += bytes_read;
     stats_.gc_bytes_written += bytes_written;
     partition_stats_[pid].gcs++;
+    partition_stats_[pid].gc_bytes_written += bytes_written;
 
     const uint64_t dur = env_->NowMicros() - start_us;
     metrics_.gc_latency->Add(static_cast<double>(dur));

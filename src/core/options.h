@@ -81,6 +81,25 @@ struct Options {
   /// checkpointing (recovery then rebuilds the index by scanning tables).
   int index_checkpoint_interval = 2;
 
+  // --- Observability knobs ---
+
+  /// Interval, in milliseconds, at which a background StatsSampler thread
+  /// snapshots the metrics registry, appends a `stats_sample` line (with
+  /// interval deltas) to the EVENTS log, and records the snapshot in the
+  /// bounded ring served by the `db.stats.history` property. 0 (the
+  /// default) starts no sampler thread at all.
+  int stats_sample_interval_ms = 0;
+
+  /// Capacity of the in-memory `db.stats.history` ring (oldest samples
+  /// are dropped once it is full). Ignored when the sampler is off.
+  size_t stats_history_size = 128;
+
+  /// Size cap for the `<dbname>/EVENTS` structured log. When appending
+  /// would exceed it, EVENTS is rotated to EVENTS.old (replacing any
+  /// previous rotation), bounding event history to ~2x this value.
+  /// 0 disables rotation (unbounded growth, the pre-cap behavior).
+  uint64_t max_event_log_bytes = 64 * 1024 * 1024;
+
   // --- Ablation switches (F12 experiment). All default on. ---
 
   /// Off: point lookups in the UnsortedStore scan tables newest-to-oldest

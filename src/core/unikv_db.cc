@@ -169,7 +169,8 @@ UniKVDB::UniKVDB(const Options& options, const std::string& dbname)
   vlog_cache_ = std::make_unique<ValueLogCache>(env_, dbname_);
   vlog_cache_->SetCounters(metrics_.vlog_reads, metrics_.vlog_span_reads,
                            metrics_.vlog_read_bytes);
-  event_log_ = std::make_unique<EventLogger>(env_, dbname_);
+  event_log_ = std::make_unique<EventLogger>(env_, dbname_,
+                                             options_.max_event_log_bytes);
   fetch_pool_ = std::make_unique<ThreadPool>(options_.value_fetch_threads);
   versions_ = std::make_unique<VersionSet>(env_, dbname_);
 }
@@ -179,11 +180,13 @@ UniKVDB::~UniKVDB() {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
     bg_work_cv_.notify_all();
+    sampler_cv_.notify_all();
     bg_cv_.wait(lock, [this] { return bg_jobs_running_ == 0; });
   }
   for (std::thread& t : bg_threads_) {
     if (t.joinable()) t.join();
   }
+  if (sampler_thread_.joinable()) sampler_thread_.join();
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
 }
@@ -206,6 +209,10 @@ Status UniKVDB::Open(const Options& options, const std::string& name,
   for (int i = 0; i < workers; i++) {
     db->bg_threads_.emplace_back(
         [raw = db.get()] { raw->BackgroundWorker(); });
+  }
+  if (db->options_.stats_sample_interval_ms > 0) {
+    db->sampler_thread_ =
+        std::thread([raw = db.get()] { raw->StatsSamplerThread(); });
   }
   *dbptr = db.release();
   return Status::OK();
@@ -439,7 +446,7 @@ Status UniKVDB::Write(const WriteOptions& options, WriteBatch* updates) {
   Status s = WriteImpl(options, updates);
   const uint64_t dur = env_->NowMicros() - start_us;
   perf->write_micros += dur;
-  metrics_.write_latency->Add(dur);
+  metrics_.write_latency->Add(dur == 0 ? 1 : dur);
   PerfEndOp(perf);
   return s;
 }
@@ -646,6 +653,9 @@ Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
     if (imm != nullptr) imm->Ref();
     ver = versions_->current();
     pi = ver->FindPartition(key);
+    // Read-heat accounting: the partition is already resolved under mu_,
+    // so the bump is one hash-map increment on the lock we hold anyway.
+    partition_stats_[ver->partitions[pi]->id].heat_reads++;
     if (options_.enable_hash_index) {
       auto it = indexes_.find(ver->partitions[pi]->id);
       if (it != indexes_.end()) {
@@ -683,7 +693,9 @@ Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
   if (timed) {
     const uint64_t dur = env_->NowMicros() - start_us;
     perf->get_micros += dur;
-    metrics_.get_latency->Add(dur);
+    // Clock-granularity floor: a 0us reading means "< 1us", and recording
+    // it as 0 would drag histogram percentiles to zero on fast paths.
+    metrics_.get_latency->Add(dur == 0 ? 1 : dur);
   }
   PerfEndOp(perf);
   return s;
@@ -862,7 +874,7 @@ Status UniKVDB::Scan(const ReadOptions& options, const Slice& start,
   const uint64_t dur = env_->NowMicros() - start_us;
   perf->scan_micros += dur;
   metrics_.scan_entries->Add(out->size());
-  metrics_.scan_latency->Add(dur);
+  metrics_.scan_latency->Add(dur == 0 ? 1 : dur);
   PerfEndOp(perf);
   return s;
 }
@@ -1088,6 +1100,10 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
     *value = MetricsJsonLocked(*ver);
     return true;
   }
+  if (property == Slice("db.stats.history")) {
+    *value = StatsHistoryJsonLocked();
+    return true;
+  }
   if (property == Slice("db.sstables")) {
     // Built with string appends: user keys have no length limit, so a
     // fixed snprintf buffer would silently truncate long lower bounds
@@ -1160,6 +1176,12 @@ std::string UniKVDB::MetricsTextLocked(const VersionData& ver) {
     const uint64_t vlog_bytes = p->VlogBytes();
     // The lower bound is an arbitrary user key and goes through string
     // appends; only the fixed-width numeric tail uses the snprintf buffer.
+    PartitionCounters pc;
+    auto cit = partition_stats_.find(p->id);
+    if (cit != partition_stats_.end()) pc = cit->second;
+    const uint64_t physical_written =
+        pc.flush_bytes + pc.merge_bytes_written + pc.gc_bytes_written;
+    const uint64_t logical = p->LogicalBytes();
     result += "partition ";
     result += std::to_string(p->id);
     result += " [";
@@ -1167,11 +1189,18 @@ std::string UniKVDB::MetricsTextLocked(const VersionData& ver) {
     std::snprintf(
         buf, sizeof(buf),
         "..): unsorted=%zu/%.1fMB sorted=%zu/%.1fMB"
-        " logical=%.1fMB vlogs=%zu/%.1fMB garbage=%.1fMB (%.0f%%)\n",
+        " logical=%.1fMB vlogs=%zu/%.1fMB garbage=%.1fMB (%.0f%%)"
+        " heat_r=%" PRIu64 " heat_w=%" PRIu64 " wamp=%.2f samp=%.2f\n",
         p->unsorted.size(), p->UnsortedBytes() / 1048576.0, p->sorted.size(),
         p->SortedBytes() / 1048576.0, p->LogicalBytes() / 1048576.0,
         p->vlogs.size(), vlog_bytes / 1048576.0, garbage / 1048576.0,
-        vlog_bytes == 0 ? 0.0 : 100.0 * garbage / vlog_bytes);
+        vlog_bytes == 0 ? 0.0 : 100.0 * garbage / vlog_bytes, pc.heat_reads,
+        pc.heat_writes,
+        pc.user_bytes_flushed == 0
+            ? 0.0
+            : static_cast<double>(physical_written) / pc.user_bytes_flushed,
+        logical == 0 ? 0.0
+                     : static_cast<double>(p->TotalBytes()) / logical);
     result += buf;
   }
   return result;
@@ -1221,6 +1250,26 @@ std::string UniKVDB::MetricsJsonLocked(const VersionData& ver) {
     pj.AddUint("scan_merges", pc.scan_merges);
     pj.AddUint("gcs", pc.gcs);
     pj.AddUint("splits", pc.splits);
+    // Heat and amplification gauges: the inputs hotness-aware GC
+    // scheduling ranks partitions by.
+    const uint64_t physical_written =
+        pc.flush_bytes + pc.merge_bytes_written + pc.gc_bytes_written;
+    const uint64_t logical = p->LogicalBytes();
+    pj.AddUint("heat_reads", pc.heat_reads);
+    pj.AddUint("heat_writes", pc.heat_writes);
+    pj.AddUint("user_bytes_flushed", pc.user_bytes_flushed);
+    pj.AddUint("flush_bytes", pc.flush_bytes);
+    pj.AddUint("merge_bytes_written", pc.merge_bytes_written);
+    pj.AddUint("gc_bytes_written", pc.gc_bytes_written);
+    pj.AddDouble("write_amp",
+                 pc.user_bytes_flushed == 0
+                     ? 0.0
+                     : static_cast<double>(physical_written) /
+                           pc.user_bytes_flushed);
+    pj.AddDouble("space_amp",
+                 logical == 0 ? 0.0
+                              : static_cast<double>(p->TotalBytes()) /
+                                    logical);
     partitions += pj.Finish();
   }
   partitions += ']';

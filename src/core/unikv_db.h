@@ -56,6 +56,19 @@ struct PartitionCounters {
   uint64_t scan_merges = 0;
   uint64_t gcs = 0;
   uint64_t splits = 0;
+  /// Heat accounting — the substrate for hotness-aware GC scheduling.
+  /// Reads count Gets routed into the partition; writes count entries
+  /// flushed into it (update frequency is measured at flush routing
+  /// time, where keys first meet partition boundaries, not per Put).
+  uint64_t heat_reads = 0;
+  uint64_t heat_writes = 0;
+  /// Byte accounting for per-partition write amplification: logical user
+  /// bytes flushed in (the denominator) vs. physical bytes written by
+  /// flush/merge/GC on the partition's behalf (the numerator).
+  uint64_t user_bytes_flushed = 0;
+  uint64_t flush_bytes = 0;
+  uint64_t merge_bytes_written = 0;
+  uint64_t gc_bytes_written = 0;
 };
 
 /// The engine-wide metrics surface: a MetricsRegistry plus cached pointers
@@ -250,6 +263,45 @@ class UniKVDB : public DB {
   std::string MetricsTextLocked(const VersionData& ver);
   std::string MetricsJsonLocked(const VersionData& ver);
 
+  // ---- StatsSampler (stats_sampler.cc) ----
+
+  /// Heat of one partition at sampling time.
+  struct PartitionHeat {
+    uint32_t pid = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+
+  /// One sampler snapshot: *cumulative* engine counters at ts_micros.
+  /// Deltas between consecutive samples are what the EVENTS
+  /// `stats_sample` lines and `db.stats.history` report.
+  struct StatsSample {
+    uint64_t ts_micros = 0;
+    uint64_t gets = 0;
+    uint64_t writes = 0;
+    uint64_t scans = 0;
+    uint64_t write_stalls = 0;
+    uint64_t stall_micros = 0;
+    uint64_t flush_bytes = 0;
+    uint64_t merge_bytes_written = 0;
+    uint64_t gc_bytes_written = 0;
+    uint64_t block_cache_hits = 0;
+    uint64_t block_cache_misses = 0;
+    std::vector<PartitionHeat> partitions;
+  };
+
+  /// Body of the sampler thread: every stats_sample_interval_ms, takes a
+  /// snapshot under mu_, pushes it into the bounded history ring, and
+  /// appends a `stats_sample` delta line to the EVENTS log.
+  void StatsSamplerThread();
+  StatsSample TakeStatsSampleLocked();
+  /// Emits one `stats_sample` EVENTS line carrying both the interval
+  /// deltas (d_*) and the cumulative values (cum_*) of `cur` vs `prev`.
+  void LogStatsSample(const StatsSample& prev, const StatsSample& cur);
+  /// Renders the history ring as a JSON array (db.stats.history).
+  /// Requires mu_ held.
+  std::string StatsHistoryJsonLocked() const;
+
   Status GetFromUnsorted(const PartitionState& p,
                          std::vector<uint16_t> candidates,
                          const LookupKey& lkey, std::string* value,
@@ -312,7 +364,15 @@ class UniKVDB : public DB {
   int compact_all_ = 0;
   UniKVStats stats_;
 
+  /// Bounded ring of sampler snapshots (newest at the back), capped at
+  /// options_.stats_history_size. Empty when the sampler is off.
+  std::deque<StatsSample> stats_history_;
+  /// Wakes the sampler thread early on shutdown.
+  std::condition_variable sampler_cv_;
+
   std::vector<std::thread> bg_threads_;
+  /// Running only when options_.stats_sample_interval_ms > 0.
+  std::thread sampler_thread_;
 
   size_t IndexExpectedEntries() const {
     size_t n = options_.unsorted_limit / options_.index_expected_entry_size;

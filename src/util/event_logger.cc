@@ -2,8 +2,8 @@
 
 namespace unikv {
 
-EventLogger::EventLogger(Env* env, std::string dir)
-    : env_(env), dir_(std::move(dir)) {}
+EventLogger::EventLogger(Env* env, std::string dir, uint64_t max_bytes)
+    : env_(env), dir_(std::move(dir)), max_bytes_(max_bytes) {}
 
 EventLogger::~EventLogger() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -20,15 +20,38 @@ void EventLogger::Log(const Slice& event_name, JsonBuilder* event) {
     if (disabled_) return;
     if (!opened_) {
       opened_ = true;
-      Status s = env_->NewAppendableFile(dir_ + "/" + kFileName, &file_);
+      const std::string path = dir_ + "/" + kFileName;
+      Status s = env_->NewAppendableFile(path, &file_);
       if (!s.ok()) {
         disabled_ = true;
         return;
       }
+      // Appending to a pre-existing log: resume the size accounting from
+      // what is already on disk so the cap holds across reopen.
+      uint64_t existing = 0;
+      bytes_ = env_->GetFileSize(path, &existing).ok() ? existing : 0;
     }
     event->AddUint("ts_micros", env_->NowMicros());
     line = event->Finish();
     line.push_back('\n');
+    if (max_bytes_ > 0 && bytes_ > 0 && bytes_ + line.size() > max_bytes_) {
+      // Rotate: the finished file becomes EVENTS.old (replacing any prior
+      // rotation) and the new line starts a fresh EVENTS. A rotation
+      // failure disables the logger, same as any other logging failure.
+      file_->Close();
+      file_.reset();
+      Status s =
+          env_->RenameFile(dir_ + "/" + kFileName, dir_ + "/" + kOldFileName);
+      if (s.ok()) {
+        s = env_->NewAppendableFile(dir_ + "/" + kFileName, &file_);
+      }
+      if (!s.ok()) {
+        disabled_ = true;
+        return;
+      }
+      bytes_ = 0;
+    }
+    bytes_ += line.size();
     if (!file_->Append(line).ok() || !file_->Flush().ok()) {
       disabled_ = true;
       file_->Close();

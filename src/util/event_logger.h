@@ -19,11 +19,17 @@ namespace unikv {
 /// exist when the logger is constructed) and opened for append so event
 /// history survives reopen. Logging failures disable the logger rather
 /// than failing the job that reported the event. Thread-safe.
+///
+/// With `max_bytes > 0` the log is size-capped: once appending the next
+/// line would push `EVENTS` past the cap, the current file is rotated to
+/// `EVENTS.old` (replacing any previous rotation) and a fresh `EVENTS`
+/// is started, bounding on-disk history to at most ~2x the cap.
 class EventLogger {
  public:
   static constexpr const char* kFileName = "EVENTS";
+  static constexpr const char* kOldFileName = "EVENTS.old";
 
-  EventLogger(Env* env, std::string dir);
+  EventLogger(Env* env, std::string dir, uint64_t max_bytes = 0);
   ~EventLogger();
 
   EventLogger(const EventLogger&) = delete;
@@ -43,9 +49,11 @@ class EventLogger {
  private:
   Env* const env_;
   const std::string dir_;
+  const uint64_t max_bytes_;
   mutable std::mutex mu_;
   bool opened_ = false;
   bool disabled_ = false;
+  uint64_t bytes_ = 0;  // Size of the current EVENTS file.
   std::unique_ptr<WritableFile> file_;
 };
 

@@ -39,7 +39,7 @@ void Histogram::Clear() {
   buckets_.assign(kNumBuckets, 0.0);
 }
 
-void Histogram::Add(double value) {
+int Histogram::BucketIndex(double value) {
   // Linear scan of bucket boundaries would be slow; binary search.
   int lo = 0, hi = kNumBuckets - 1;
   while (lo < hi) {
@@ -50,7 +50,11 @@ void Histogram::Add(double value) {
       lo = mid + 1;
     }
   }
-  buckets_[lo] += 1.0;
+  return lo;
+}
+
+void Histogram::Add(double value) {
+  buckets_[BucketIndex(value)] += 1.0;
   if (min_ > value) min_ = value;
   if (max_ < value) max_ = value;
   num_++;
@@ -70,6 +74,8 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 double Histogram::Percentile(double p) const {
+  // Empty: the clamp below would otherwise return the min_ sentinel.
+  if (num_ == 0) return 0.0;
   double threshold = num_ * (p / 100.0);
   double cumulative = 0;
   for (int b = 0; b < kNumBuckets; b++) {

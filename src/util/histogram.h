@@ -27,8 +27,15 @@ class Histogram {
   std::string ToString() const;
 
  private:
+  // ConcurrentHistogram shards the same exponential buckets across
+  // threads and folds them into a plain Histogram on Snapshot().
+  friend class ConcurrentHistogram;
+
   static constexpr int kNumBuckets = 154;
   static const double kBucketLimit[kNumBuckets];
+
+  /// Index of the exponential bucket that holds `value`.
+  static int BucketIndex(double value);
 
   double min_;
   double max_;

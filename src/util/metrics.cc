@@ -8,24 +8,108 @@ namespace unikv {
 
 // ---------------------------------------------------- ConcurrentHistogram
 
+namespace {
+
+// CAS helpers: atomic<double>::fetch_add is C++20-only and min/max RMWs
+// do not exist at all, so all double accumulation goes through explicit
+// compare-exchange loops. Relaxed ordering everywhere — the histograms
+// are reporting-only, no cross-metric ordering is implied.
+void AtomicAddDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (cur > v &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ConcurrentHistogram::ConcurrentHistogram() : shards_(new Shard[kShards]) {
+  Reset();
+}
+
+ConcurrentHistogram::Shard* ConcurrentHistogram::ShardForThisThread() const {
+  // Round-robin shard assignment on first use, shared by every histogram
+  // in the process: with kShards a power of two this spreads recording
+  // threads evenly without per-histogram thread state.
+  static std::atomic<unsigned> next_slot{0};
+  thread_local unsigned slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return &shards_[slot % kShards];
+}
+
 void ConcurrentHistogram::Add(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  hist_.Add(value);
+  Shard* s = ShardForThisThread();
+  s->buckets[Histogram::BucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  s->count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&s->sum, value);
+  AtomicAddDouble(&s->sum_squares, value * value);
+  AtomicMinDouble(&s->min, value);
+  AtomicMaxDouble(&s->max, value);
 }
 
 void ConcurrentHistogram::Merge(const Histogram& other) {
-  std::lock_guard<std::mutex> lock(mu_);
-  hist_.Merge(other);
+  if (other.num_ == 0) return;
+  // Bulk merges are rare (one per bench phase / background fold); folding
+  // everything into shard 0 keeps Add() contention-free.
+  Shard* s = &shards_[0];
+  for (int b = 0; b < Histogram::kNumBuckets; b++) {
+    const uint64_t n = static_cast<uint64_t>(other.buckets_[b]);
+    if (n != 0) s->buckets[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  s->count.fetch_add(other.num_, std::memory_order_relaxed);
+  AtomicAddDouble(&s->sum, other.sum_);
+  AtomicAddDouble(&s->sum_squares, other.sum_squares_);
+  AtomicMinDouble(&s->min, other.min_);
+  AtomicMaxDouble(&s->max, other.max_);
 }
 
 Histogram ConcurrentHistogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hist_;
+  Histogram h;  // Clear()ed: min_ holds the empty sentinel.
+  for (int si = 0; si < kShards; si++) {
+    const Shard& s = shards_[si];
+    for (int b = 0; b < Histogram::kNumBuckets; b++) {
+      h.buckets_[b] += static_cast<double>(
+          s.buckets[b].load(std::memory_order_relaxed));
+    }
+    h.num_ += s.count.load(std::memory_order_relaxed);
+    h.sum_ += s.sum.load(std::memory_order_relaxed);
+    h.sum_squares_ += s.sum_squares.load(std::memory_order_relaxed);
+    const double mn = s.min.load(std::memory_order_relaxed);
+    const double mx = s.max.load(std::memory_order_relaxed);
+    if (mn < h.min_) h.min_ = mn;
+    if (mx > h.max_) h.max_ = mx;
+  }
+  return h;
 }
 
 void ConcurrentHistogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  hist_.Clear();
+  const double kMinSentinel =
+      Histogram::kBucketLimit[Histogram::kNumBuckets - 1];
+  for (int si = 0; si < kShards; si++) {
+    Shard& s = shards_[si];
+    for (int b = 0; b < Histogram::kNumBuckets; b++) {
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.sum_squares.store(0.0, std::memory_order_relaxed);
+    s.min.store(kMinSentinel, std::memory_order_relaxed);
+    s.max.store(0.0, std::memory_order_relaxed);
+  }
 }
 
 // ------------------------------------------------------------ JsonBuilder
@@ -163,10 +247,11 @@ std::string MetricsRegistry::ToString() const {
     Histogram snap = h->Snapshot();
     if (snap.Count() == 0) continue;
     std::snprintf(buf, sizeof(buf),
-                  "%-28s count=%" PRIu64 " avg=%.1f p50=%.1f p99=%.1f"
-                  " max=%.1f\n",
+                  "%-28s count=%" PRIu64 " avg=%.1f p50=%.1f p95=%.1f"
+                  " p99=%.1f p999=%.1f max=%.1f\n",
                   name.c_str(), snap.Count(), snap.Average(),
-                  snap.Percentile(50), snap.Percentile(99), snap.Max());
+                  snap.Percentile(50), snap.Percentile(95),
+                  snap.Percentile(99), snap.Percentile(99.9), snap.Max());
     out += buf;
   }
   return out;
@@ -191,6 +276,8 @@ std::string MetricsRegistry::ToJson() const {
     one.AddDouble("p50", snap.Percentile(50));
     one.AddDouble("p95", snap.Percentile(95));
     one.AddDouble("p99", snap.Percentile(99));
+    one.AddDouble("p999", snap.Percentile(99.9));
+    one.AddDouble("min", snap.Count() > 0 ? snap.Min() : 0);
     one.AddDouble("max", snap.Count() > 0 ? snap.Max() : 0);
     hists.AddRaw(name, one.Finish());
   }

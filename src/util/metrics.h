@@ -39,19 +39,45 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Thread-safe wrapper around Histogram: Add() takes an uncontended
-/// mutex (tens of ns, off the read fast path — used for operation and
-/// background-job latencies), Snapshot() copies out a consistent view.
+/// Thread-safe, mergeable latency histogram for hot paths. Add() is a
+/// few relaxed atomic RMWs on per-thread-sharded exponential buckets
+/// (no mutex, recording threads land on different cache lines); the
+/// cross-shard merge is lazy — deferred to Snapshot(), which folds every
+/// shard into a plain Histogram for percentile queries. Snapshot() and
+/// Reset() racing an in-flight Add() can miss that single sample; the
+/// per-sample fields themselves are always internally consistent enough
+/// for reporting (count/sum may disagree transiently by one sample).
 class ConcurrentHistogram {
  public:
+  ConcurrentHistogram();
+  ConcurrentHistogram(const ConcurrentHistogram&) = delete;
+  ConcurrentHistogram& operator=(const ConcurrentHistogram&) = delete;
+
+  /// Lock-free; safe from any number of concurrent threads.
   void Add(double value);
+  /// Folds a plain histogram (e.g. a driver-side per-phase histogram)
+  /// into this one. Safe against concurrent Add/Snapshot.
   void Merge(const Histogram& other);
+  /// Merges all shards into one Histogram.
   Histogram Snapshot() const;
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  Histogram hist_;
+  static constexpr int kShards = 8;
+  // One cache-line-aligned shard per recording-thread slot; threads are
+  // assigned to shards round-robin on first use.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[Histogram::kNumBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> sum_squares{0.0};
+    std::atomic<double> min{0.0};  // Reset() installs the real sentinel.
+    std::atomic<double> max{0.0};
+  };
+
+  Shard* ShardForThisThread() const;
+
+  std::unique_ptr<Shard[]> shards_;
 };
 
 /// Minimal one-object JSON emitter shared by `db.metrics.json` and the

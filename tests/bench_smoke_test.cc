@@ -1,0 +1,124 @@
+// Tier-1 smoke test for the BENCH_*.json perf-trajectory emitter: runs a
+// miniature load -> mixed -> scan trajectory through the bench driver and
+// validates the persisted document's schema — required keys, in-engine
+// latency percentiles that are non-zero and monotone, amplification
+// factors >= 1 — so schema drift or a broken emitter fails ctest instead
+// of silently corrupting the repo's perf history.
+
+#include "benchutil/driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace unikv {
+namespace bench {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return out;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) out.push_back(static_cast<char>(c));
+  std::fclose(f);
+  return out;
+}
+
+// Numeric value of `"key":<num>` at its first occurrence after `anchor`.
+// Returns -1 (and fails the test) when either is missing.
+double NumAfter(const std::string& json, const std::string& anchor,
+                const std::string& key) {
+  size_t base = anchor.empty() ? 0 : json.find(anchor);
+  EXPECT_NE(base, std::string::npos) << anchor << " missing";
+  if (base == std::string::npos) return -1;
+  size_t pos = json.find("\"" + key + "\":", base);
+  EXPECT_NE(pos, std::string::npos) << key << " missing after " << anchor;
+  if (pos == std::string::npos) return -1;
+  return std::strtod(json.c_str() + pos + key.size() + 3, nullptr);
+}
+
+TEST(BenchSmokeTest, TrajectoryJsonSchemaHolds) {
+  const std::string root = test::NewTestDir("bench_smoke");
+  Options opt;
+  opt.write_buffer_size = 64 * 1024;
+  opt.unsorted_limit = 256 * 1024;
+  opt.sorted_table_size = 64 * 1024;
+  BenchDb bdb(Engine::kUniKV, opt, root);
+
+  std::vector<PhaseResult> phases;
+  LoadSpec load;
+  load.num_keys = 3000;
+  load.value_size = 256;
+  phases.push_back(RunLoad(&bdb, load));
+
+  MixedSpec mixed;
+  mixed.num_ops = 4000;
+  mixed.key_space = load.num_keys;
+  mixed.value_size = 256;
+  phases.push_back(RunMixed(&bdb, mixed));
+
+  ScanSpec scan;
+  scan.num_ops = 50;
+  scan.scan_len = 50;
+  scan.key_space = load.num_keys;
+  phases.push_back(RunScans(&bdb, scan));
+
+  const std::string out_dir = test::NewTestDir("bench_smoke_out");
+  const std::string path =
+      WriteBenchTrajectory("smoke", &bdb, phases, out_dir);
+  ASSERT_EQ(path, out_dir + "/BENCH_smoke.json");
+  ASSERT_TRUE(Env::Default()->FileExists(path));
+
+  std::string json = ReadWholeFile(path);
+  ASSERT_FALSE(json.empty());
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+
+  // Required top-level and nested keys of schema v1.
+  const char* required[] = {
+      "\"schema_version\":",  "\"workload\":\"smoke\"", "\"engine\":",
+      "\"ts_micros\":",       "\"environment\":",       "\"cores\":",
+      "\"build_type\":",      "\"sanitizer\":",         "\"bench_scale\":",
+      "\"params\":",          "\"phases\":[",           "\"latency_us\":",
+      "\"totals\":",          "\"stalls\":",            "\"write_stalls\":",
+      "\"engine_metrics\":"};
+  for (const char* key : required) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
+  EXPECT_EQ(static_cast<int>(NumAfter(json, "", "schema_version")),
+            kBenchJsonSchemaVersion);
+
+  // In-engine write-latency percentiles: non-zero, monotone, below max.
+  const std::string h = "\"write_latency_us\":";
+  ASSERT_NE(json.find(h), std::string::npos) << json;
+  const double p50 = NumAfter(json, h, "p50");
+  const double p95 = NumAfter(json, h, "p95");
+  const double p99 = NumAfter(json, h, "p99");
+  const double p999 = NumAfter(json, h, "p999");
+  const double hmax = NumAfter(json, h, "max");
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, hmax);
+
+  // The load phase writes every byte at least once: write_amp >= 1. The
+  // driver-side histogram saw one sample per op.
+  const std::string load_phase = "\"phase\":\"load\"";
+  EXPECT_GE(NumAfter(json, load_phase, "write_amp"), 1.0);
+  EXPECT_GE(NumAfter(json, load_phase, "ops"), 3000.0);
+
+  // Run totals cover all phases.
+  EXPECT_GE(NumAfter(json, "\"totals\":", "ops"),
+            static_cast<double>(3000 + 4000 + 50));
+  EXPECT_GT(NumAfter(json, "\"totals\":", "ops_per_sec"), 0.0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace unikv

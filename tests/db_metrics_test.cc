@@ -2,6 +2,8 @@
 // through Get/Put/Scan, the db.metrics / db.metrics.json properties, and
 // GetProperty's contract over known and unknown names.
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,10 +12,43 @@
 
 #include "core/db.h"
 #include "test_util.h"
+#include "util/event_logger.h"
 #include "util/perf_context.h"
 
 namespace unikv {
 namespace {
+
+// All EVENTS lines for a given event name, in file order.
+std::vector<std::string> ReadEventLines(const std::string& dir,
+                                        const std::string& event_name) {
+  std::vector<std::string> matches;
+  std::FILE* f =
+      std::fopen((dir + "/" + EventLogger::kFileName).c_str(), "r");
+  if (f == nullptr) return matches;
+  std::string current;
+  int c;
+  const std::string needle = "\"event\":\"" + event_name + "\"";
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      if (current.find(needle) != std::string::npos) {
+        matches.push_back(current);
+      }
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>(c));
+    }
+  }
+  std::fclose(f);
+  return matches;
+}
+
+// Extracts the unsigned value of `"field":<num>` from a JSON line.
+uint64_t JsonUint(const std::string& line, const std::string& field) {
+  size_t pos = line.find("\"" + field + "\":");
+  EXPECT_NE(pos, std::string::npos) << field << " missing from " << line;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + field.size() + 3, nullptr, 10);
+}
 
 Options SmallOptions() {
   Options opt;
@@ -156,7 +191,7 @@ TEST_F(DbMetricsTest, GetPropertyContract) {
                          "db.hash-index-entries", "db.num-files",
                          "db.stats",          "db.sstables",
                          "db.table-accesses", "db.metrics",
-                         "db.metrics.json"};
+                         "db.metrics.json",   "db.stats.history"};
   for (const char* p : props) {
     value.clear();
     EXPECT_TRUE(db_->GetProperty(p, &value)) << p;
@@ -236,6 +271,119 @@ TEST_F(DbMetricsTest, ScanAndWriteCountersAdvance) {
   EXPECT_EQ(out.size(), 10u);
   EXPECT_EQ(perf->scans, 1u);
   perf->Reset();
+}
+
+TEST_F(DbMetricsTest, StatsSamplerOffByDefault) {
+  // Options default to stats_sample_interval_ms == 0: no sampler thread,
+  // an empty history, and no stats_sample lines in EVENTS.
+  OpenDb(SmallOptions(), "_sampler_off");
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), test::TestKey(i), test::TestValue(i, 64))
+            .ok());
+  }
+  Env::Default()->SleepForMicroseconds(60 * 1000);
+
+  std::string history;
+  ASSERT_TRUE(db_->GetProperty("db.stats.history", &history));
+  EXPECT_EQ(history, "[]");
+  EXPECT_TRUE(ReadEventLines(dir_, "stats_sample").empty());
+}
+
+TEST_F(DbMetricsTest, StatsSamplerProducesHistoryAndEvents) {
+  Options opt = SmallOptions();
+  opt.stats_sample_interval_ms = 25;
+  OpenDb(opt, "_sampler_on");
+
+  // Several rounds of work with sleeps longer than the interval so the
+  // sampler observes distinct cumulative states.
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 500; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(round * 500 + i),
+                           test::TestValue(i, 256))
+                      .ok());
+    }
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(round * 500), &value)
+                    .ok());
+    Env::Default()->SleepForMicroseconds(40 * 1000);
+  }
+
+  // The in-memory ring: valid JSON, >= 2 entries, cumulative counters
+  // non-decreasing across entries and consistent with the work done.
+  std::string history;
+  ASSERT_TRUE(db_->GetProperty("db.stats.history", &history));
+  ASSERT_TRUE(test::IsValidJson(history)) << history;
+  std::vector<size_t> entry_starts;
+  for (size_t pos = history.find("{\"ts_micros\":"); pos != std::string::npos;
+       pos = history.find("{\"ts_micros\":", pos + 1)) {
+    entry_starts.push_back(pos);
+  }
+  ASSERT_GE(entry_starts.size(), 2u) << history;
+  uint64_t prev_writes = 0, prev_ts = 0;
+  for (size_t start : entry_starts) {
+    std::string entry = history.substr(start);
+    uint64_t w = JsonUint(entry, "writes");
+    uint64_t ts = JsonUint(entry, "ts_micros");
+    EXPECT_GE(w, prev_writes);
+    EXPECT_GE(ts, prev_ts);
+    prev_writes = w;
+    prev_ts = ts;
+  }
+  EXPECT_LE(prev_writes, 1500u);
+  EXPECT_GT(prev_writes, 0u);
+
+  // EVENTS carries one stats_sample line per interval; each is valid JSON
+  // with the delta/cumulative/heat fields, and the deltas telescope
+  // exactly to the cumulative counters.
+  std::vector<std::string> lines = ReadEventLines(dir_, "stats_sample");
+  ASSERT_GE(lines.size(), 2u);
+  uint64_t d_writes_sum = 0;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(test::IsValidJson(line)) << line;
+    EXPECT_NE(line.find("\"interval_micros\":"), std::string::npos);
+    EXPECT_NE(line.find("\"stall_causes\":{\"memtable_wait\":"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"cache_hit_ratio\":"), std::string::npos);
+    EXPECT_NE(line.find("\"partitions\":["), std::string::npos);
+    d_writes_sum += JsonUint(line, "d_writes");
+  }
+  const std::string& first = lines.front();
+  const std::string& last = lines.back();
+  uint64_t baseline = JsonUint(first, "cum_writes") - JsonUint(first, "d_writes");
+  EXPECT_EQ(d_writes_sum, JsonUint(last, "cum_writes") - baseline);
+
+  // Closing the DB joins the sampler thread without hanging; history
+  // survives until then.
+  db_.reset();
+}
+
+TEST_F(DbMetricsTest, HeatAndAmpGaugesInMetricsJson) {
+  OpenDb(SmallOptions(), "_heat");
+  LoadBothStores();
+  std::string value;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), test::TestKey(i), &value).ok());
+  }
+
+  std::string json;
+  ASSERT_TRUE(db_->GetProperty("db.metrics.json", &json));
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+  // Per-partition heat counters and amplification gauges.
+  EXPECT_NE(json.find("\"heat_reads\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"heat_writes\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"write_amp\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"space_amp\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"user_bytes_flushed\":"), std::string::npos) << json;
+  // The 50 gets above landed on some partition's read-heat counter.
+  EXPECT_EQ(json.find("\"heat_reads\":0,"), std::string::npos) << json;
+
+  // The human-readable db.metrics text renders the same gauges.
+  std::string text;
+  ASSERT_TRUE(db_->GetProperty("db.metrics", &text));
+  EXPECT_NE(text.find("heat_r="), std::string::npos) << text;
+  EXPECT_NE(text.find("wamp="), std::string::npos) << text;
+  EXPECT_NE(text.find("samp="), std::string::npos) << text;
 }
 
 }  // namespace

@@ -91,6 +91,60 @@ TEST(EventLoggerTest, DisabledOnUnwritableDir) {
   logger.Log("ignored2", &ev2);
 }
 
+TEST(EventLoggerTest, RotatesAtSizeCap) {
+  std::string dir = test::NewTestDir("event_logger_rotate");
+  constexpr uint64_t kCap = 512;
+  EventLogger logger(Env::Default(), dir, kCap);
+
+  // Each line is ~100 bytes after padding, so the cap fits ~5 of them and
+  // 50 events force many rotations.
+  const std::string pad(60, 'x');
+  const int kEvents = 50;
+  for (int i = 0; i < kEvents; i++) {
+    JsonBuilder ev;
+    ev.AddUint("round", i);
+    ev.AddString("pad", pad);
+    logger.Log("rotate_test", &ev);
+  }
+  EXPECT_FALSE(logger.disabled());
+
+  Env* env = Env::Default();
+  const std::string cur_path = dir + "/" + EventLogger::kFileName;
+  const std::string old_path = dir + "/" + EventLogger::kOldFileName;
+  ASSERT_TRUE(env->FileExists(cur_path));
+  ASSERT_TRUE(env->FileExists(old_path));
+
+  uint64_t cur_size = 0;
+  ASSERT_TRUE(env->GetFileSize(cur_path, &cur_size).ok());
+  EXPECT_LE(cur_size, kCap);
+
+  // Both generations hold well-formed JSON lines, and together they cover
+  // a contiguous tail of the rounds: EVENTS.old ends exactly where EVENTS
+  // begins, and EVENTS ends with the newest round.
+  std::vector<std::string> old_lines = ReadLines(old_path);
+  std::vector<std::string> cur_lines = ReadLines(cur_path);
+  ASSERT_FALSE(old_lines.empty());
+  ASSERT_FALSE(cur_lines.empty());
+  for (const std::string& line : old_lines) {
+    EXPECT_TRUE(test::IsValidJson(line)) << line;
+  }
+  for (const std::string& line : cur_lines) {
+    EXPECT_TRUE(test::IsValidJson(line)) << line;
+  }
+  auto round_of = [](const std::string& line) {
+    size_t pos = line.find("\"round\":");
+    EXPECT_NE(pos, std::string::npos) << line;
+    return std::stoi(line.substr(pos + 8));
+  };
+  EXPECT_EQ(round_of(cur_lines.back()), kEvents - 1);
+  EXPECT_EQ(round_of(cur_lines.front()), round_of(old_lines.back()) + 1);
+  int prev = round_of(old_lines.front());
+  for (size_t i = 1; i < old_lines.size(); i++) {
+    EXPECT_EQ(round_of(old_lines[i]), prev + 1);
+    prev = round_of(old_lines[i]);
+  }
+}
+
 TEST(EventLoggerTest, DbBackgroundJobsEmitEvents) {
   std::string dir = test::NewTestDir("event_logger_db");
   Options opt;

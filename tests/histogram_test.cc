@@ -48,6 +48,44 @@ TEST(Histogram, Merge) {
   EXPECT_EQ(1000.0, a.Max());
 }
 
+TEST(Histogram, EmptyPercentilesAreZero) {
+  // Regression: an empty histogram used to clamp percentiles to the min_
+  // sentinel (1e200) instead of reporting 0.
+  Histogram h;
+  EXPECT_EQ(0.0, h.Percentile(50));
+  EXPECT_EQ(0.0, h.Percentile(99.9));
+  EXPECT_EQ(0.0, h.Median());
+}
+
+TEST(Histogram, SingleValueAllPercentiles) {
+  Histogram h;
+  h.Add(42);
+  // With one sample every percentile clamps to that sample.
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(0.1));
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(50));
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(99.9));
+}
+
+TEST(Histogram, MergeDisjointRanges) {
+  Histogram lo, hi;
+  for (int i = 0; i < 100; i++) lo.Add(10);
+  for (int i = 0; i < 100; i++) hi.Add(100000);
+  lo.Merge(hi);
+  EXPECT_EQ(200u, lo.Count());
+  EXPECT_EQ(10.0, lo.Min());
+  EXPECT_EQ(100000.0, lo.Max());
+  // The low half of the mass sits in the low range, the high half in the
+  // high range, with nothing in between.
+  EXPECT_LE(lo.Percentile(25), 20.0);
+  EXPECT_GE(lo.Percentile(95), 50000.0);
+  EXPECT_NEAR(50005.0, lo.Average(), 1.0);
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  lo.Merge(empty);
+  EXPECT_EQ(200u, lo.Count());
+  EXPECT_EQ(10.0, lo.Min());
+}
+
 TEST(Histogram, ClearResets) {
   Histogram h;
   h.Add(5);
