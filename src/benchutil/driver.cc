@@ -1,5 +1,6 @@
 #include "benchutil/driver.h"
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -277,6 +278,59 @@ PhaseResult RunMixed(BenchDb* bdb, const MixedSpec& spec) {
   return r;
 }
 
+PhaseResult RunConcurrentWrites(BenchDb* bdb,
+                                const ConcurrentWriteSpec& spec) {
+  PhaseResult r;
+  r.phase = spec.phase;
+  r.threads = spec.threads > 0 ? spec.threads : 1;
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+
+  const uint64_t per_thread = spec.total_ops / r.threads;
+  std::vector<Histogram> latencies(r.threads);
+  std::vector<uint64_t> thread_bytes(r.threads, 0);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(r.threads);
+  for (int t = 0; t < r.threads; t++) {
+    workers.emplace_back([&, t] {
+      WriteOptions wo;
+      wo.sync = spec.sync;
+      for (uint64_t i = 0; i < per_thread; i++) {
+        const uint64_t id =
+            spec.key_base + static_cast<uint64_t>(t) * per_thread + i;
+        std::string key = KeyGenerator::Key(id);
+        std::string value = MakeValue(id, spec.value_size);
+        thread_bytes[t] += key.size() + value.size();
+        const uint64_t t0 = env->NowMicros();
+        Status s = bdb->db()->Put(wo, key, value);
+        latencies[t].Add(env->NowMicros() - t0);
+        if (!s.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "concurrent write phase %s failed\n",
+                 spec.phase.c_str());
+    std::abort();
+  }
+  timer.Finish(per_thread * r.threads);
+  uint64_t user_bytes = 0;
+  for (int t = 0; t < r.threads; t++) {
+    r.latency_us.Merge(latencies[t]);
+    user_bytes += thread_bytes[t];
+  }
+  r.user_bytes = user_bytes;
+  r.write_amp = user_bytes > 0
+                    ? static_cast<double>(r.bytes_written) / user_bytes
+                    : 0;
+  return r;
+}
+
 PhaseResult RunYcsb(BenchDb* bdb, const YcsbRunSpec& spec) {
   PhaseResult r;
   r.phase = std::string("ycsb-") + spec.workload;
@@ -452,6 +506,7 @@ std::string BenchTrajectoryJson(const std::string& workload, BenchDb* bdb,
                  opt.value_separation_threshold);
   params.AddInt("value_fetch_threads", opt.value_fetch_threads);
   params.AddInt("background_threads", opt.background_threads);
+  params.AddInt("write_shards", opt.write_shards);
   root.AddRaw("params", params.Finish());
 
   std::string phase_array = "[";
@@ -465,6 +520,7 @@ std::string BenchTrajectoryJson(const std::string& workload, BenchDb* bdb,
     total_read += r.bytes_read;
     JsonBuilder pj;
     pj.AddString("phase", r.phase);
+    pj.AddInt("threads", r.threads);
     pj.AddUint("ops", r.ops);
     pj.AddDouble("seconds", r.seconds);
     pj.AddDouble("kops_per_sec", r.kops_per_sec);

@@ -26,6 +26,7 @@ const char* EngineName(Engine e);
 /// Result of one workload phase against one engine.
 struct PhaseResult {
   std::string phase;
+  int threads = 1;  // Client threads that drove the phase.
   double seconds = 0;
   uint64_t ops = 0;
   double kops_per_sec = 0;
@@ -121,6 +122,24 @@ struct MixedSpec {
 
 PhaseResult RunMixed(BenchDb* bdb, const MixedSpec& spec);
 
+struct ConcurrentWriteSpec {
+  std::string phase = "concurrent_write";
+  int threads = 1;
+  uint64_t total_ops = 40000;  // Split evenly across the threads.
+  uint64_t key_base = 0;       // First key id; ids are distinct per op.
+  size_t value_size = 256;
+  bool sync = false;
+};
+
+/// `threads` client threads issue `total_ops / threads` Puts each over
+/// disjoint key ranges (so shard spread comes from the key hash, not from
+/// overwrites). Per-thread latency histograms are merged after the join;
+/// the phase's throughput is wall-clock over all threads — the foreground
+/// write-path scalability measurement. Background work is NOT settled
+/// inside the timed window; callers wanting a settled store between
+/// phases should CompactAll afterwards.
+PhaseResult RunConcurrentWrites(BenchDb* bdb, const ConcurrentWriteSpec& spec);
+
 struct YcsbRunSpec {
   char workload = 'A';
   uint64_t num_ops = 30000;
@@ -147,7 +166,9 @@ std::string DumpMetricsJson(BenchDb* bdb);
 /// documented in DESIGN.md §9 ("Observability v2").
 
 /// Bumped whenever a field in the BENCH JSON changes shape.
-constexpr int kBenchJsonSchemaVersion = 1;
+/// v2: phases[] entries carry "threads" (client threads driving the
+/// phase), params carries "write_shards".
+constexpr int kBenchJsonSchemaVersion = 2;
 
 /// Renders the BENCH JSON document for one workload run: schema_version,
 /// workload name, engine, environment (cores, build type, sanitizer,

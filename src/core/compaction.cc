@@ -3,6 +3,7 @@
 // value-log garbage collection, and dynamic range-partition splits.
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/filename.h"
 #include "core/merging_iterator.h"
@@ -16,7 +17,9 @@ namespace unikv {
 void UniKVDB::MaybeScheduleWork() { bg_work_cv_.notify_all(); }
 
 bool UniKVDB::HasWorkPending() {
-  if (imm_ != nullptr) return true;
+  for (const auto& shard : shards_) {
+    if (shard->has_imm.load(std::memory_order_acquire)) return true;
+  }
   VersionPtr ver = versions_->current();
   for (const auto& p : ver->partitions) {
     const uint64_t unsorted_bytes = p->UnsortedBytes();
@@ -42,9 +45,16 @@ bool UniKVDB::HasWorkPending() {
 
 UniKVDB::WorkItem UniKVDB::PickWork() {
   WorkItem item;
-  if (imm_ != nullptr && !flush_in_progress_) {
-    item.kind = WorkKind::kFlush;
-    return item;
+  // Flushes of different shards run concurrently (their key ranges are
+  // disjoint hash stripes); a given shard's flushes are serialized by its
+  // flush_in_progress claim.
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (shards_[i]->has_imm.load(std::memory_order_acquire) &&
+        !shards_[i]->flush_in_progress) {
+      item.kind = WorkKind::kFlush;
+      item.shard = static_cast<int>(i);
+      return item;
+    }
   }
   VersionPtr ver = versions_->current();
 
@@ -117,18 +127,23 @@ void UniKVDB::BackgroundWorker() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     WorkItem item;
-    bg_work_cv_.wait(lock, [this, &item] {
-      if (shutting_down_) return true;
-      if (!bg_error_.ok()) return false;
-      item = PickWork();
-      return item.kind != WorkKind::kNone;
-    });
+    while (true) {
+      if (shutting_down_) break;
+      if (!has_bg_error_.load(std::memory_order_acquire)) {
+        item = PickWork();
+        if (item.kind != WorkKind::kNone) break;
+      }
+      // Writers signal a rotation (has_imm) without holding mu_, so a
+      // notify can slip between this thread's predicate check and its
+      // sleep; the timeout bounds that lost-wakeup window.
+      bg_work_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
     if (shutting_down_) break;
 
     // Claim the job's target before releasing the mutex so no peer picks
-    // the same partition (or a second flush) while this one runs.
+    // the same partition (or the same shard's flush) while this one runs.
     if (item.kind == WorkKind::kFlush) {
-      flush_in_progress_ = true;
+      shards_[item.shard]->flush_in_progress = true;
     } else {
       busy_partitions_.insert(item.partition->id);
     }
@@ -149,7 +164,7 @@ void UniKVDB::BackgroundWorker() {
 
     lock.lock();
     if (item.kind == WorkKind::kFlush) {
-      flush_in_progress_ = false;
+      shards_[item.shard]->flush_in_progress = false;
     } else {
       busy_partitions_.erase(item.partition->id);
     }
@@ -165,7 +180,7 @@ void UniKVDB::BackgroundWorker() {
 Status UniKVDB::DispatchWork(const WorkItem& item) {
   switch (item.kind) {
     case WorkKind::kFlush:
-      return CompactMemTable();
+      return CompactMemTable(static_cast<size_t>(item.shard));
     case WorkKind::kMerge:
       return MergePartition(item.partition);
     case WorkKind::kScanMerge:
@@ -181,24 +196,44 @@ Status UniKVDB::DispatchWork(const WorkItem& item) {
 }
 
 void UniKVDB::RecordBackgroundError(const Status& s) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (bg_error_.ok()) {
-    bg_error_ = s;
+  // Callers may hold shard locks but never mu_ or err_mu_. err_mu_ is a
+  // leaf: nothing else is acquired while it is held.
+  {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    if (bg_error_.ok()) {
+      bg_error_ = s;
+    }
+    has_bg_error_.store(true, std::memory_order_release);
   }
+  // Wake every waiter. The empty lock holds order the flag store before
+  // each waiter's predicate re-check, closing the lost-wakeup window for
+  // threads already inside their wait.
+  { std::lock_guard<std::mutex> lock(mu_); }
   bg_cv_.notify_all();
+  bg_work_cv_.notify_all();
+  for (auto& shard : shards_) {
+    { std::lock_guard<std::mutex> shard_lock(shard->mu); }
+    shard->cv.notify_all();
+  }
 }
 
 Status UniKVDB::FlushMemTable() {
-  // Rotate via the writers_ queue: a null batch is the rotation sentinel.
-  // Rotating here directly (as this method once did) swapped wal_/wal_file_
-  // under mu_ while the front group writer was appending to the same WAL
-  // with mu_ released — a use-after-free. At the queue front no concurrent
-  // append can be in flight.
+  // Rotate via each shard's writer queue: a null batch is the rotation
+  // sentinel. Rotating here directly (as this method once did) swapped the
+  // WAL under the front group writer's feet — a use-after-free. At the
+  // queue front no concurrent append can be in flight.
   Status s = WriteImpl(WriteOptions(), nullptr);
   if (!s.ok()) return s;
   std::unique_lock<std::mutex> lock(mu_);
-  bg_cv_.wait(lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
-  return bg_error_;
+  bg_work_cv_.notify_all();
+  bg_cv_.wait(lock, [this] {
+    if (has_bg_error_.load(std::memory_order_acquire)) return true;
+    for (const auto& shard : shards_) {
+      if (shard->has_imm.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  });
+  return GetBackgroundError();
 }
 
 Status UniKVDB::CompactAll() {
@@ -208,10 +243,11 @@ Status UniKVDB::CompactAll() {
   compact_all_++;
   bg_work_cv_.notify_all();
   bg_cv_.wait(lock, [this] {
-    return (!HasWorkPending() && bg_jobs_running_ == 0) || !bg_error_.ok();
+    return (!HasWorkPending() && bg_jobs_running_ == 0) ||
+           has_bg_error_.load(std::memory_order_acquire);
   });
   compact_all_--;
-  return bg_error_;
+  return GetBackgroundError();
 }
 
 // ------------------------------------------------------------------ flush
@@ -336,19 +372,29 @@ bool UniKVDB::RoutingStillValid(const VersionData& ver,
   return true;
 }
 
-Status UniKVDB::CompactMemTable() {
+Status UniKVDB::CompactMemTable(size_t shard_idx) {
   const uint64_t start_us = env_->NowMicros();
+  WriteShard* shard = shards_[shard_idx].get();
   MemTable* mem;
-  VersionPtr base;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    mem = imm_;
-    base = versions_->current();
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    mem = shard->imm;
   }
+  VersionPtr base = versions_->current();
   assert(mem != nullptr);
 
+  // Durability ceiling for the manifest floor. Every sequence allocated
+  // before this load is fully appended once the sync-all below has passed
+  // its shard's log_mu, and is then durable — so advancing LastSequence
+  // to flush_ceiling can never let gap-cut recovery drop an op below the
+  // floor. The sync also covers this shard's retiring WAL before the
+  // install makes it deletable.
+  const uint64_t flush_ceiling = seq_alloc_.load(std::memory_order_acquire);
+  Status s = SyncAllShardWals(flush_ceiling, /*force=*/true);
+  if (!s.ok()) return s;
+
   std::vector<FlushOutput> outputs;
-  Status s = FlushMemTableToUnsorted(mem, base, &outputs);
+  s = FlushMemTableToUnsorted(mem, base, &outputs);
   if (!s.ok()) return s;
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -371,7 +417,26 @@ Status UniKVDB::CompactMemTable() {
   }
 
   VersionEdit edit;
-  edit.SetLogNumber(wal_number_);
+  // Manifest log-number floor: the smallest WAL that may still hold
+  // un-flushed records across all shards. The flushing shard's retiring
+  // WAL is covered by this install, so it contributes its *current* WAL;
+  // a shard mid-flush elsewhere contributes its retiring one. Rotation
+  // publishes imm_wal_number before wal_number (both under the shard's
+  // mu, which we hold while reading), so the floor never moves backwards
+  // across installs — VersionSet::Apply has no monotonicity guard.
+  uint64_t min_wal = 0;
+  for (size_t i = 0; i < shards_.size(); i++) {
+    WriteShard* t = shards_[i].get();
+    std::lock_guard<std::mutex> tl(t->mu);
+    uint64_t n;
+    if (i == shard_idx || t->imm == nullptr) {
+      n = t->wal_number.load(std::memory_order_relaxed);
+    } else {
+      n = t->imm_wal_number.load(std::memory_order_relaxed);
+    }
+    if (min_wal == 0 || n < min_wal) min_wal = n;
+  }
+  edit.SetLogNumber(min_wal);
 
   // Assign table ids from the current version, under the same mutex hold
   // that installs the edit. Ids must be allocated here — not while the
@@ -438,6 +503,12 @@ Status UniKVDB::CompactMemTable() {
     }
   }
 
+  // Advance the recovery floor only as far as the sync-all made durable
+  // (LogAndApply stamps the manifest from VersionSet's own counter, so it
+  // must be raised here, before the install).
+  if (flush_ceiling > versions_->LastSequence()) {
+    versions_->SetLastSequence(flush_ceiling);
+  }
   s = versions_->LogAndApply(&edit);
   for (const FlushOutput& out : outputs) {
     pending_outputs_.erase(out.meta.number);
@@ -447,8 +518,14 @@ Status UniKVDB::CompactMemTable() {
   }
   if (s.ok()) {
     stats_.flushes++;
-    imm_->Unref();
-    imm_ = nullptr;
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      shard->imm->Unref();
+      shard->imm = nullptr;
+      shard->has_imm.store(false, std::memory_order_release);
+      shard->imm_wal_number.store(0, std::memory_order_relaxed);
+      shard->cv.notify_all();  // Stalled writers wait on the shard cv.
+    }
 
     const uint64_t dur = env_->NowMicros() - start_us;
     metrics_.flush_latency->Add(static_cast<double>(dur));
@@ -1258,12 +1335,15 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
 // --------------------------------------------------------- obsolete files
 
 void UniKVDB::RemoveObsoleteFiles() {
+  const uint64_t start_us = env_->NowMicros();
   std::set<uint64_t> live;
   uint64_t log_number, manifest_number;
   std::vector<std::string> children;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!bg_error_.ok()) return;  // Unsure about state: keep everything.
+    if (has_bg_error_.load(std::memory_order_acquire)) {
+      return;  // Unsure about state: keep everything.
+    }
     versions_->AddLiveFiles(&live);
     live.insert(pending_outputs_.begin(), pending_outputs_.end());
     log_number = versions_->LogNumber();
@@ -1277,6 +1357,7 @@ void UniKVDB::RemoveObsoleteFiles() {
     if (!env_->GetChildren(dbname_, &children).ok()) return;
   }
 
+  std::string removed;
   for (const std::string& child : children) {
     uint64_t number;
     FileType type;
@@ -1284,6 +1365,7 @@ void UniKVDB::RemoveObsoleteFiles() {
     bool keep = true;
     switch (type) {
       case FileType::kWalFile:
+      case FileType::kShardWalFile:
         keep = number >= log_number;
         break;
       case FileType::kManifestFile:
@@ -1309,7 +1391,16 @@ void UniKVDB::RemoveObsoleteFiles() {
         vlog_cache_->Evict(0, number);
       }
       env_->RemoveFile(dbname_ + "/" + child);
+      if (!removed.empty()) removed += ' ';
+      removed += child;
     }
+  }
+  if (!removed.empty()) {
+    JsonBuilder ev;
+    ev.AddUint("duration_micros", env_->NowMicros() - start_us);
+    ev.AddUint("live", live.size());
+    ev.AddString("files", removed);
+    event_log_->Log("sweep", &ev);
   }
 }
 

@@ -16,6 +16,10 @@ std::string WalFileName(const std::string& dbname, uint64_t number) {
   return MakeFileName(dbname, number, "wal");
 }
 
+std::string ShardWalFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "swal");
+}
+
 std::string TableFileName(const std::string& dbname, uint64_t number) {
   return MakeFileName(dbname, number, "sst");
 }
@@ -38,6 +42,10 @@ std::string ManifestFileName(const std::string& dbname, uint64_t number) {
 
 std::string CurrentFileName(const std::string& dbname) {
   return dbname + "/CURRENT";
+}
+
+std::string LockFileName(const std::string& dbname) {
+  return dbname + "/LOCK";
 }
 
 std::string TempFileName(const std::string& dbname, uint64_t number) {
@@ -76,6 +84,8 @@ bool ParseFileName(const std::string& filename, uint64_t* number,
   const std::string suffix = filename.substr(dot + 1);
   if (suffix == "wal") {
     *type = FileType::kWalFile;
+  } else if (suffix == "swal") {
+    *type = FileType::kShardWalFile;
   } else if (suffix == "sst") {
     *type = FileType::kTableFile;
   } else if (suffix == "vlog") {

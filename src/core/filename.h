@@ -8,7 +8,8 @@ namespace unikv {
 
 /// File kinds living inside a DB directory.
 enum class FileType {
-  kWalFile,        // %06llu.wal
+  kWalFile,        // %06llu.wal (legacy single-queue WAL; still replayed)
+  kShardWalFile,   // %06llu.swal (per-shard WAL, written since write_shards)
   kTableFile,      // %06llu.sst
   kValueLogFile,   // %06llu.vlog
   kIndexCheckpoint,  // %06llu.hidx
@@ -19,12 +20,14 @@ enum class FileType {
 };
 
 std::string WalFileName(const std::string& dbname, uint64_t number);
+std::string ShardWalFileName(const std::string& dbname, uint64_t number);
 std::string TableFileName(const std::string& dbname, uint64_t number);
 std::string ValueLogFileName(const std::string& dbname, uint64_t number);
 std::string IndexCheckpointFileName(const std::string& dbname,
                                     uint64_t number);
 std::string ManifestFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
+std::string LockFileName(const std::string& dbname);
 std::string TempFileName(const std::string& dbname, uint64_t number);
 
 /// Parses a bare filename (no directory). On success fills *number (0 for

@@ -76,6 +76,17 @@ struct Options {
   /// deterministic Env-call traces). Clamped to [1, 16] at Open.
   int background_threads = 3;
 
+  /// Foreground write shards. Keys are striped across shards by user-key
+  /// hash; each shard owns its own memtable, WAL (.swal), writer queue and
+  /// group commit, so concurrent writers to different shards never
+  /// contend. Sequence numbers stay globally ordered and sync writes are
+  /// durable across all shards, so crash recovery (which merges all shard
+  /// WALs by sequence number) keeps the same prefix-cut guarantee as the
+  /// single-queue path. 1 (the default) restores the single-queue write
+  /// path. Not persisted: the shard count may change across restarts.
+  /// Clamped to [1, 64] at Open.
+  int write_shards = 1;
+
   /// Persist a hash-index checkpoint every this many UnsortedStore
   /// flushes (paper: every UnsortedLimit/2 of flushed tables). 0 disables
   /// checkpointing (recovery then rebuilds the index by scanning tables).

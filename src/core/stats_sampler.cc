@@ -42,8 +42,12 @@ UniKVDB::StatsSample UniKVDB::TakeStatsSampleLocked() {
   s.gets = metrics_.gets->Value();
   s.writes = metrics_.writes->Value();
   s.scans = metrics_.scans->Value();
-  s.write_stalls = stats_.write_stalls;
-  s.stall_micros = stats_.stall_micros;
+  // Stall accounting lives on the shards since the write path went
+  // sharded; the sample reports the fleet-wide sums.
+  for (const auto& shard : shards_) {
+    s.write_stalls += shard->write_stalls.load(std::memory_order_relaxed);
+    s.stall_micros += shard->stall_micros.load(std::memory_order_relaxed);
+  }
   s.flush_bytes = stats_.flush_bytes;
   s.merge_bytes_written = stats_.merge_bytes_written;
   s.gc_bytes_written = stats_.gc_bytes_written;

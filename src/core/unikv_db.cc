@@ -1,6 +1,7 @@
 #include "core/unikv_db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
@@ -161,6 +162,11 @@ UniKVDB::UniKVDB(const Options& options, const std::string& dbname)
     : options_(options), dbname_(dbname) {
   env_ = options_.env != nullptr ? options_.env : Env::Default();
   options_.env = env_;
+  options_.write_shards = std::clamp(options_.write_shards, 1, 64);
+  shards_.reserve(options_.write_shards);
+  for (int i = 0; i < options_.write_shards; i++) {
+    shards_.push_back(std::make_unique<WriteShard>());
+  }
   if (options_.block_cache_size > 0) {
     block_cache_.reset(NewLRUCache(options_.block_cache_size));
   }
@@ -187,8 +193,14 @@ UniKVDB::~UniKVDB() {
     if (t.joinable()) t.join();
   }
   if (sampler_thread_.joinable()) sampler_thread_.join();
-  if (mem_ != nullptr) mem_->Unref();
-  if (imm_ != nullptr) imm_->Unref();
+  for (auto& s : shards_) {
+    if (s->mem != nullptr) s->mem->Unref();
+    if (s->imm != nullptr) s->imm->Unref();
+  }
+  if (db_lock_ != nullptr) {
+    env_->UnlockFile(db_lock_);
+    db_lock_ = nullptr;
+  }
 }
 
 Status DB::Open(const Options& options, const std::string& name, DB** dbptr) {
@@ -219,43 +231,90 @@ Status UniKVDB::Open(const Options& options, const std::string& name,
 }
 
 Status UniKVDB::Recover() {
-  Status s =
-      versions_->Recover(options_.create_if_missing, options_.error_if_exists);
+  // Claim the directory before touching any state in it. Two instances
+  // sweeping the same directory delete each other's live tables — seen
+  // in practice when two test binaries shared a scratch dir — so a
+  // second Open fails fast here instead.
+  env_->CreateDir(dbname_);
+  Status s = env_->LockFile(LockFileName(dbname_), &db_lock_);
+  if (!s.ok()) return s;
+  s = versions_->Recover(options_.create_if_missing, options_.error_if_exists);
   if (!s.ok()) return s;
 
-  // Collect WAL files newer than the manifest's log number and replay
-  // them in order.
+  // Collect WAL files newer than the manifest's log number: per-shard
+  // .swal files plus legacy single-queue .wal files (a DB written before
+  // sharding, or with a different shard count, recovers the same way —
+  // the shard mapping is not persisted).
   std::vector<std::string> children;
   s = env_->GetChildren(dbname_, &children);
   if (!s.ok()) return s;
-  std::vector<uint64_t> wals;
+  std::vector<uint64_t> wal_numbers;
+  std::vector<std::string> wal_files;
   for (const std::string& child : children) {
     uint64_t number;
     FileType type;
-    if (ParseFileName(child, &number, &type) && type == FileType::kWalFile &&
+    if (ParseFileName(child, &number, &type) &&
+        (type == FileType::kWalFile || type == FileType::kShardWalFile) &&
         number >= versions_->LogNumber()) {
-      wals.push_back(number);
+      wal_numbers.push_back(number);
+      wal_files.push_back(dbname_ + "/" + child);
     }
   }
-  std::sort(wals.begin(), wals.end());
 
-  mem_ = new MemTable(icmp_);
-  mem_->Ref();
-  SequenceNumber max_seq = versions_->LastSequence();
-  for (uint64_t number : wals) {
-    s = ReplayWal(number, mem_, &max_seq);
+  // Gap-cut replay (DESIGN.md §10): batches from all WALs are merged by
+  // sequence number and replayed contiguously from the manifest floor;
+  // the run stops at the first missing sequence. A gap can only arise
+  // from batches that were appended but never made durable, and the
+  // write path never acks a sync write (nor advances the manifest floor)
+  // before syncing *every* shard's WAL — so everything beyond a gap is
+  // unacked by construction and safe to drop.
+  std::vector<WalBatch> batches;
+  for (const std::string& fname : wal_files) {
+    s = CollectWalBatches(fname, &batches);
     if (!s.ok()) return s;
   }
+  std::sort(batches.begin(), batches.end(),
+            [](const WalBatch& a, const WalBatch& b) { return a.seq < b.seq; });
+
+  // The manifest floor F promises every sequence <= F is durable — in a
+  // table or in a surviving WAL — but not *which*: a flush advances F to
+  // the sync-all ceiling, which covers records living only in other
+  // shards' current WALs. So batches at or below F are replayed
+  // unconditionally (re-flushing data that also sits in a table is a
+  // harmless duplicate at an identical sequence); holes below F are
+  // expected, they are the retired WALs. Above F contiguity is required.
+  MemTable* recovered = new MemTable(icmp_);
+  recovered->Ref();
+  const SequenceNumber floor = versions_->LastSequence();
+  SequenceNumber next = floor + 1;
+  WriteBatch batch;
+  for (const WalBatch& wb : batches) {
+    const SequenceNumber last = wb.seq + wb.count - 1;
+    if (last > floor && wb.seq > next) break;  // Gap: never acked beyond it.
+    batch.SetContents(wb.contents);
+    s = batch.InsertInto(recovered);
+    if (!s.ok()) {
+      recovered->Unref();
+      return s;
+    }
+    if (last >= next) next = last + 1;
+  }
+  const SequenceNumber max_seq = next - 1;
   versions_->SetLastSequence(max_seq);
+  seq_alloc_.store(max_seq, std::memory_order_relaxed);
+  visible_seq_.store(max_seq, std::memory_order_relaxed);
 
   // Flush recovered entries so the old WALs can be retired, then start a
-  // fresh WAL.
+  // fresh WAL per shard.
   VersionEdit edit;
-  if (mem_->NumEntries() > 0) {
+  if (recovered->NumEntries() > 0) {
     VersionPtr base = versions_->current();
     std::vector<FlushOutput> new_tables;
-    s = FlushMemTableToUnsorted(mem_, base, &new_tables);
-    if (!s.ok()) return s;
+    s = FlushMemTableToUnsorted(recovered, base, &new_tables);
+    if (!s.ok()) {
+      recovered->Unref();
+      return s;
+    }
     // Recovery is single-threaded: `base` is still current, so the
     // routing cannot have moved and table ids come straight from it.
     for (FlushOutput& out : new_tables) {
@@ -270,18 +329,23 @@ Status UniKVDB::Recover() {
       edit.AddUnsortedFile(out.pid, out.meta);
       stats_.flush_bytes += out.meta.size;
     }
-    mem_->Unref();
-    mem_ = new MemTable(icmp_);
-    mem_->Ref();
   }
+  recovered->Unref();
 
-  wal_number_ = versions_->NewFileNumber();
-  std::unique_ptr<WritableFile> lfile;
-  s = env_->NewWritableFile(WalFileName(dbname_, wal_number_), &lfile);
-  if (!s.ok()) return s;
-  wal_file_ = std::move(lfile);
-  wal_ = std::make_unique<log::Writer>(wal_file_.get());
-  edit.SetLogNumber(wal_number_);
+  uint64_t min_wal = 0;
+  for (auto& shard : shards_) {
+    const uint64_t number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    s = env_->NewWritableFile(ShardWalFileName(dbname_, number), &lfile);
+    if (!s.ok()) return s;
+    shard->wal_file = std::move(lfile);
+    shard->wal = std::make_unique<log::Writer>(shard->wal_file.get());
+    shard->wal_number.store(number, std::memory_order_relaxed);
+    shard->mem = new MemTable(icmp_);
+    shard->mem->Ref();
+    if (min_wal == 0 || number < min_wal) min_wal = number;
+  }
+  edit.SetLogNumber(min_wal);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s = versions_->LogAndApply(&edit);
@@ -305,31 +369,32 @@ struct WalReporter : public log::Reader::Reporter {
 };
 }  // namespace
 
-Status UniKVDB::ReplayWal(uint64_t number, MemTable* mem,
-                          SequenceNumber* max_seq) {
+Status UniKVDB::CollectWalBatches(const std::string& fname,
+                                  std::vector<WalBatch>* out) {
   std::unique_ptr<SequentialFile> file;
-  Status s = env_->NewSequentialFile(WalFileName(dbname_, number), &file);
+  Status s = env_->NewSequentialFile(fname, &file);
   if (!s.ok()) return s;
 
-  Status replay_status;
+  Status read_status;
   WalReporter reporter;
-  reporter.status = &replay_status;
+  reporter.status = &read_status;
   log::Reader reader(file.get(), &reporter, true);
   Slice record;
   std::string scratch;
   WriteBatch batch;
   while (reader.ReadRecord(&record, &scratch)) {
     if (record.size() < 12) {
-      replay_status = Status::Corruption("WAL record too small");
+      read_status = Status::Corruption("WAL record too small");
       break;
     }
     batch.SetContents(record);
-    s = batch.InsertInto(mem);
-    if (!s.ok()) return s;
-    SequenceNumber last = batch.Sequence() + batch.Count() - 1;
-    if (last > *max_seq) *max_seq = last;
+    WalBatch wb;
+    wb.seq = batch.Sequence();
+    wb.count = static_cast<uint32_t>(batch.Count());
+    wb.contents.assign(record.data(), record.size());
+    out->push_back(std::move(wb));
   }
-  return replay_status;
+  return read_status;
 }
 
 std::shared_ptr<HashIndex> UniKVDB::GetOrCreateIndex(uint32_t pid) {
@@ -451,14 +516,98 @@ Status UniKVDB::Write(const WriteOptions& options, WriteBatch* updates) {
   return s;
 }
 
+namespace {
+// FNV-1a over the user key: stable within a process, cheap, and evenly
+// striped. Never persisted — recovery re-routes at insert time.
+uint32_t ShardHash(const Slice& user_key, size_t nshards) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < user_key.size(); i++) {
+    h ^= static_cast<uint8_t>(user_key.data()[i]);
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h % nshards);
+}
+}  // namespace
+
+uint32_t UniKVDB::ShardOf(const Slice& user_key) const {
+  return ShardHash(user_key, shards_.size());
+}
+
+void UniKVDB::AdvanceVisibleSeq(uint64_t seq) {
+  uint64_t cur = visible_seq_.load(std::memory_order_acquire);
+  while (cur < seq && !visible_seq_.compare_exchange_weak(
+                          cur, seq, std::memory_order_release,
+                          std::memory_order_acquire)) {
+  }
+}
+
+namespace {
+/// Splits a multi-shard batch into per-shard sub-batches.
+struct ShardSplitter : public WriteBatch::Handler {
+  explicit ShardSplitter(std::vector<WriteBatch>* subs_arg)
+      : subs(subs_arg) {}
+  void Put(const Slice& key, const Slice& value) override {
+    (*subs)[ShardHash(key, subs->size())].Put(key, value);
+  }
+  void Delete(const Slice& key) override {
+    (*subs)[ShardHash(key, subs->size())].Delete(key);
+  }
+  std::vector<WriteBatch>* subs;
+};
+}  // namespace
+
 Status UniKVDB::WriteImpl(const WriteOptions& options, WriteBatch* updates) {
-  Writer w(&mu_);
+  if (updates == nullptr) {
+    // Manual-flush sentinel: rotate every shard (FlushMemTable waits for
+    // the resulting imms to drain).
+    Status s;
+    for (auto& shard : shards_) {
+      s = WriteToShard(shard.get(), options, nullptr);
+      if (!s.ok()) return s;
+    }
+    return s;
+  }
+  if (shards_.size() == 1) {
+    return WriteToShard(shards_[0].get(), options, updates);
+  }
+
+  // Route the batch. The common case — every record in one shard (always
+  // true for single-record Put/Delete batches) — is submitted as-is.
+  std::vector<WriteBatch> subs(shards_.size());
+  ShardSplitter splitter(&subs);
+  Status s = updates->Iterate(&splitter);
+  if (!s.ok()) return s;
+  int touched = 0, only = -1;
+  for (size_t i = 0; i < subs.size(); i++) {
+    if (subs[i].Count() > 0) {
+      touched++;
+      only = static_cast<int>(i);
+    }
+  }
+  if (touched == 0) return Status::OK();
+  if (touched == 1) {
+    return WriteToShard(shards_[only].get(), options, updates);
+  }
+  // Multi-shard batch: each sub-batch commits as its own group, so
+  // cross-shard atomicity is not preserved under a crash (each sub-batch
+  // is individually atomic). Documented in DESIGN.md §10.
+  for (size_t i = 0; i < subs.size(); i++) {
+    if (subs[i].Count() == 0) continue;
+    s = WriteToShard(shards_[i].get(), options, &subs[i]);
+    if (!s.ok()) return s;
+  }
+  return s;
+}
+
+Status UniKVDB::WriteToShard(WriteShard* s, const WriteOptions& options,
+                             WriteBatch* updates) {
+  Writer w(&s->mu);
   w.batch = updates;
   w.sync = options.sync;
 
-  std::unique_lock<std::mutex> lock(mu_);
-  writers_.push_back(&w);
-  w.cv.wait(lock, [this, &w] { return w.done || &w == writers_.front(); });
+  std::unique_lock<std::mutex> lock(s->mu);
+  s->writers.push_back(&w);
+  w.cv.wait(lock, [s, &w] { return w.done || &w == s->writers.front(); });
   if (w.done) {
     return w.status;
   }
@@ -468,48 +617,88 @@ Status UniKVDB::WriteImpl(const WriteOptions& options, WriteBatch* updates) {
   // no payload. Routing the rotation through the queue front is what
   // makes it safe — no concurrent group writer can be appending to the
   // WAL being retired.
-  Status status = MakeRoomForWrite(lock, /*force=*/updates == nullptr);
-  SequenceNumber last_sequence = versions_->LastSequence();
+  Status status = MakeRoomForWrite(s, lock, /*force=*/updates == nullptr);
   Writer* last_writer = &w;
   if (status.ok() && updates != nullptr) {
-    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
-    write_batch->SetSequence(last_sequence + 1);
-    last_sequence += write_batch->Count();
+    WriteBatch* write_batch = BuildBatchGroup(s, &last_writer);
+    MemTable* mem = s->mem;
 
-    // Append to the WAL and apply to the memtable. Safe to release the
-    // mutex: &w is the only awake writer and structural changes are
-    // excluded until we pop the queue.
+    // Allocate sequence numbers and append to the WAL inside one log_mu
+    // critical section. This is what makes gap-cut recovery sound: when
+    // any sync (ours or a peer's sync-all) later acquires this log_mu,
+    // every already-allocated sequence on this shard is fully appended —
+    // so a sequence can only be missing from the synced prefix if it was
+    // allocated afterwards, i.e. is higher than everything acked.
     {
+      std::unique_lock<std::mutex> log_lock(s->log_mu);
       lock.unlock();
+      const uint32_t count = static_cast<uint32_t>(write_batch->Count());
+      // Publish the unsynced watermark BEFORE allocating: in the seq_cst
+      // total order the claim exists before this group's sequences do,
+      // so any prefix-check that has seen a later sequence and then
+      // reads this shard as clean (or unsynced only above its ceiling)
+      // has a sound lock-free proof (see SyncAllShardWals). An already
+      // set watermark is older — and therefore lower — than this group,
+      // so it stands.
+      const uint64_t prev_unsynced =
+          s->first_unsynced_seq.load(std::memory_order_relaxed);
+      if (prev_unsynced == 0) {
+        s->first_unsynced_seq.store(kSeqAllocating,
+                                    std::memory_order_seq_cst);
+      }
+      const uint64_t first_seq =
+          seq_alloc_.fetch_add(count, std::memory_order_seq_cst) + 1;
+      const uint64_t group_last = first_seq + count - 1;
+      if (prev_unsynced == 0) {
+        s->first_unsynced_seq.store(first_seq, std::memory_order_seq_cst);
+      }
+      write_batch->SetSequence(first_seq);
       {
         StopwatchGuard wal_timer(env_, &GetPerfContext()->write_wal_micros);
-        status = wal_->AddRecord(write_batch->Contents());
+        status = s->wal->AddRecord(write_batch->Contents());
         if (status.ok() && options.sync) {
-          status = wal_file_->Sync();
+          // Own-shard sync inside the append critical section: concurrent
+          // sync writers fsync their own WALs from their own threads, so
+          // the I/O waits overlap — and the cross-shard round below then
+          // finds every sync-written shard clean and skips it.
+          status = s->wal_file->Sync();
+          if (status.ok()) {
+            // The fsync covered everything appended to this WAL, older
+            // async groups included.
+            s->first_unsynced_seq.store(0, std::memory_order_seq_cst);
+          }
         }
       }
+      log_lock.unlock();
       if (!status.ok()) {
         // A failed WAL append or sync leaves the log tail undefined: later
         // records could land after a torn fragment and silently vanish at
         // replay. Latch the error so subsequent writes are rejected.
         RecordBackgroundError(status);
       }
+      if (status.ok() && options.sync && shards_.size() > 1) {
+        // A sync ack promises the whole prefix up to group_last is
+        // durable, and lower sequences may live in peer shards' WALs.
+        status = SyncAllShardWals(group_last);
+      }
       if (status.ok()) {
         StopwatchGuard mem_timer(env_,
                                  &GetPerfContext()->write_memtable_micros);
-        status = write_batch->InsertInto(mem_);
+        status = write_batch->InsertInto(mem);
+      }
+      if (status.ok()) {
+        AdvanceVisibleSeq(group_last);
       }
       lock.lock();
     }
-    if (write_batch == &batch_group_scratch_) {
-      batch_group_scratch_.Clear();
+    if (write_batch == &s->scratch) {
+      s->scratch.Clear();
     }
-    versions_->SetLastSequence(last_sequence);
   }
 
   while (true) {
-    Writer* ready = writers_.front();
-    writers_.pop_front();
+    Writer* ready = s->writers.front();
+    s->writers.pop_front();
     if (ready != &w) {
       ready->status = status;
       ready->done = true;
@@ -517,14 +706,120 @@ Status UniKVDB::WriteImpl(const WriteOptions& options, WriteBatch* updates) {
     }
     if (ready == last_writer) break;
   }
-  if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+  if (!s->writers.empty()) {
+    s->writers.front()->cv.notify_one();
   }
   return status;
 }
 
-WriteBatch* UniKVDB::BuildBatchGroup(Writer** last_writer) {
-  Writer* first = writers_.front();
+Status UniKVDB::SyncAllShardWals(uint64_t ceiling, bool force) {
+  // Lock-free fast path. first_unsynced_seq is published (seq_cst)
+  // BEFORE a group allocates its sequences, so for any group whose
+  // sequences could be <= ceiling the publish precedes our ceiling's
+  // allocation, which precedes this scan. Reading a shard as 0 (clean)
+  // therefore means any such group was since synced; reading a value
+  // above the ceiling means the shard's oldest unsynced record is newer
+  // than the prefix we promise — not our problem either way. Only
+  // kSeqAllocating (sequences unknown) or a watermark <= ceiling forces
+  // the locked path. In an all-sync workload every writer leaves its own
+  // shard clean, so concurrent sync writers pass through here without
+  // ever touching a peer shard's lock — this is what lets durable
+  // writes scale with the thread count instead of serializing on a
+  // cross-shard fsync round.
+  if (!force) {
+    bool covered = true;
+    for (const auto& t : shards_) {
+      const uint64_t w = t->first_unsynced_seq.load(std::memory_order_seq_cst);
+      if (w != 0 && w <= ceiling) {  // kSeqAllocating compares <= nothing
+        covered = false;             // except as the sentinel below.
+        break;
+      }
+      if (w == kSeqAllocating) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return Status::OK();
+  }
+
+  std::unique_lock<std::mutex> coord(sync_mu_);
+  while (true) {
+    if (!force && synced_seq_floor_ >= ceiling) return Status::OK();
+    if (!sync_all_in_flight_) break;
+    // A round is running but began before our ceiling was allocated (or
+    // we cannot tell). Wait for it; either its floor covers us or we
+    // become the next round's leader — N waiters fold into O(1) rounds.
+    sync_cv_.wait(coord);
+  }
+  sync_all_in_flight_ = true;
+  // Everything allocated up to here rides this round for free: their
+  // appends either finished or are inside a log_mu this round will take.
+  const uint64_t target = seq_alloc_.load(std::memory_order_seq_cst);
+  coord.unlock();
+
+  // One log_mu at a time (never two — no ordering to deadlock on). By
+  // the allocation-inside-log_mu invariant, after this loop every
+  // sequence allocated before it started is durable. Shards whose
+  // watermark proves them irrelevant (same argument as the fast path,
+  // anchored at the `target` load above) are skipped without locking.
+  // The first pass visits the rest opportunistically (try_lock): a
+  // shard whose writer is mid-own-fsync holds log_mu for the whole
+  // fsync, and blocking on each in turn would stretch the round to the
+  // SUM of the in-flight syncs. Deferring busy shards lets their fsyncs
+  // overlap; the blocking second pass picks up stragglers (by then
+  // usually clean, since a sync writer leaves its shard synced).
+  Status s;
+  std::vector<WriteShard*> pending;
+  pending.reserve(shards_.size());
+  for (auto& t : shards_) pending.push_back(t.get());
+  for (int pass = 0; pass < 2 && s.ok() && !pending.empty(); pass++) {
+    std::vector<WriteShard*> busy;
+    for (WriteShard* t : pending) {
+      if (!force) {
+        const uint64_t w =
+            t->first_unsynced_seq.load(std::memory_order_seq_cst);
+        if (w == 0 || (w != kSeqAllocating && w > target)) continue;
+      }
+      std::unique_lock<std::mutex> log_lock(t->log_mu, std::defer_lock);
+      if (pass == 0 && !log_lock.try_lock()) {
+        busy.push_back(t);
+        continue;
+      }
+      if (pass != 0) log_lock.lock();
+      if (t->wal_file == nullptr) continue;
+      if (!force) {
+        // Re-check under the lock: the in-flight writer we waited out
+        // may have synced (or turned out to be newer than the target).
+        const uint64_t w =
+            t->first_unsynced_seq.load(std::memory_order_seq_cst);
+        if (w == 0 || w > target) continue;  // Never kSeqAllocating here:
+      }                                      // holders are inside log_mu.
+      Status ss = t->wal_file->Sync();
+      if (ss.ok()) {
+        t->first_unsynced_seq.store(0, std::memory_order_seq_cst);
+      } else {
+        s = ss;
+        break;
+      }
+    }
+    pending = std::move(busy);
+  }
+
+  coord.lock();
+  sync_all_in_flight_ = false;
+  if (s.ok() && target > synced_seq_floor_) synced_seq_floor_ = target;
+  sync_cv_.notify_all();
+  coord.unlock();
+  if (!s.ok()) {
+    // Latched outside log_mu/sync_mu_: RecordBackgroundError briefly
+    // takes mu_ and the shard mutexes to wake waiters.
+    RecordBackgroundError(s);
+  }
+  return s;
+}
+
+WriteBatch* UniKVDB::BuildBatchGroup(WriteShard* s, Writer** last_writer) {
+  Writer* first = s->writers.front();
   WriteBatch* result = first->batch;
   size_t size = first->batch->ApproximateSize();
 
@@ -536,7 +831,7 @@ WriteBatch* UniKVDB::BuildBatchGroup(Writer** last_writer) {
   }
 
   *last_writer = first;
-  for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+  for (auto it = s->writers.begin() + 1; it != s->writers.end(); ++it) {
     Writer* w = *it;
     if (w->sync && !first->sync) {
       break;  // Do not include a sync write into a non-sync group.
@@ -551,7 +846,7 @@ WriteBatch* UniKVDB::BuildBatchGroup(Writer** last_writer) {
     if (size > max_size) break;
     if (result == first->batch) {
       // Switch to a temporary batch instead of disturbing the caller's.
-      result = &batch_group_scratch_;
+      result = &s->scratch;
       assert(result->Count() == 0);
       result->Append(*first->batch);
     }
@@ -561,62 +856,79 @@ WriteBatch* UniKVDB::BuildBatchGroup(Writer** last_writer) {
   return result;
 }
 
-Status UniKVDB::SwitchWal() {
-  // Make the outgoing log durable before retiring it. Without this, a sync
-  // on the new WAL could make post-rotation ops durable while unsynced
-  // pre-rotation ops are lost — a mid-sequence gap that breaks prefix
-  // recovery.
-  if (wal_file_ != nullptr) {
-    Status sync_status = wal_file_->Sync();
+Status UniKVDB::SwitchWal(WriteShard* s) {
+  // The swap must exclude cross-shard sync-alls (they hold log_mu while
+  // touching wal_file), and the old log must be durable before being
+  // retired: otherwise a sync on the new WAL could make post-rotation ops
+  // durable while unsynced pre-rotation ops are lost — a mid-sequence gap
+  // that breaks prefix recovery.
+  std::lock_guard<std::mutex> log_lock(s->log_mu);
+  if (s->wal_file != nullptr) {
+    Status sync_status = s->wal_file->Sync();
     if (!sync_status.ok()) return sync_status;
   }
+  s->first_unsynced_seq.store(0, std::memory_order_seq_cst);
   uint64_t new_number = versions_->NewFileNumber();
   std::unique_ptr<WritableFile> lfile;
-  Status s = env_->NewWritableFile(WalFileName(dbname_, new_number), &lfile);
-  if (!s.ok()) return s;
-  wal_file_ = std::move(lfile);
-  wal_ = std::make_unique<log::Writer>(wal_file_.get());
-  wal_number_ = new_number;
+  Status st =
+      env_->NewWritableFile(ShardWalFileName(dbname_, new_number), &lfile);
+  if (!st.ok()) return st;
+  s->wal_file = std::move(lfile);
+  s->wal = std::make_unique<log::Writer>(s->wal_file.get());
+  // Publish the retiring number before the new one so the flush
+  // installer's min-over-shards log-number floor never moves backwards.
+  s->imm_wal_number.store(s->wal_number.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  s->wal_number.store(new_number, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status UniKVDB::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
+Status UniKVDB::MakeRoomForWrite(WriteShard* s,
+                                 std::unique_lock<std::mutex>& lock,
                                  bool force) {
+  bool counted_stall = false;
   while (true) {
-    if (!bg_error_.ok()) {
+    if (has_bg_error_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> el(err_mu_);
       return bg_error_;
     }
     if (!force &&
-        mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+        s->mem->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       return Status::OK();
     }
-    if (force && mem_->NumEntries() == 0) {
+    if (force && s->mem->NumEntries() == 0) {
       return Status::OK();  // Nothing to rotate out.
     }
-    if (imm_ != nullptr) {
+    if (s->imm != nullptr) {
       // The previous memtable is still being flushed: wait. For normal
-      // writes each wait is one stall episode; stall_micros reaches the
-      // registry through the PerfContext fold in Write(). A forced
-      // rotation (manual flush) waiting here is not a write stall.
+      // writes the whole blocked span is one stall episode; stall_micros
+      // reaches the registry through the PerfContext fold in Write(). A
+      // forced rotation (manual flush) waiting here is not a write stall.
       const uint64_t stall_start = env_->NowMicros();
       bg_work_cv_.notify_all();
-      bg_cv_.wait(lock);
+      s->cv.wait_for(lock, std::chrono::milliseconds(100));
       if (!force) {
         const uint64_t waited = env_->NowMicros() - stall_start;
-        stats_.write_stalls++;
-        stats_.stall_micros += waited;
-        metrics_.write_stalls->Inc();
+        if (!counted_stall) {
+          counted_stall = true;
+          s->write_stalls.fetch_add(1, std::memory_order_relaxed);
+          metrics_.write_stalls->Inc();
+        }
+        s->stall_micros.fetch_add(waited, std::memory_order_relaxed);
         GetPerfContext()->write_stall_micros += waited;
       }
       continue;
     }
     // Switch to a new memtable + WAL and hand the old one to the
-    // background workers.
-    Status s = SwitchWal();
-    if (!s.ok()) return s;
-    imm_ = mem_;
-    mem_ = new MemTable(icmp_);
-    mem_->Ref();
+    // background workers. has_imm is the scheduler's wake signal; the
+    // notify below is fired without mu_ (writers never take it), so the
+    // workers' wait uses a timeout to cover the lost-wakeup window.
+    Status st = SwitchWal(s);
+    if (!st.ok()) return st;
+    s->imm = s->mem;
+    s->mem = new MemTable(icmp_);
+    s->mem->Ref();
+    s->has_imm.store(true, std::memory_order_release);
     MaybeScheduleWork();
     return Status::OK();
   }
@@ -637,20 +949,28 @@ Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
   MemTable* mem;
   MemTable* imm = nullptr;
   VersionPtr ver;
-  SequenceNumber snapshot;
   std::vector<uint16_t> candidates;
   int pi;
+  // Snapshot at the published sequence: everything at or below it has
+  // completed its memtable insert, so acked writes are always readable.
+  const SequenceNumber snapshot =
+      visible_seq_.load(std::memory_order_acquire);
   {
-    // Capture everything that must be mutually consistent — the version,
-    // the snapshot sequence, and the hash-index candidates — under one
-    // mutex hold. Index contents always correspond to the version
-    // installed under the same lock.
-    std::lock_guard<std::mutex> lock(mu_);
-    snapshot = versions_->LastSequence();
-    mem = mem_;
+    // Pin the key's shard memtables *before* capturing the version: if a
+    // flush installs between the two, the entry is in both the pinned imm
+    // and the newer version's tables — never in neither.
+    WriteShard* shard = shards_[ShardOf(key)].get();
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    mem = shard->mem;
     mem->Ref();
-    imm = imm_;
+    imm = shard->imm;
     if (imm != nullptr) imm->Ref();
+  }
+  {
+    // Capture what must be mutually consistent — the version and the
+    // hash-index candidates — under one mutex hold. Index contents always
+    // correspond to the version installed under the same lock.
+    std::lock_guard<std::mutex> lock(mu_);
     ver = versions_->current();
     pi = ver->FindPartition(key);
     // Read-heat accounting: the partition is already resolved under mu_,
@@ -819,23 +1139,33 @@ Status UniKVDB::GetFromSorted(const PartitionState& p, const LookupKey& lkey,
 // ------------------------------------------------------------- iterators
 
 Iterator* UniKVDB::NewInternalIterator(SequenceNumber* latest_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
-  *latest_seq = versions_->LastSequence();
+  // Same capture order as Get: published snapshot, then every shard's
+  // memtables (one shard lock at a time), then the version — so an entry
+  // flushed mid-capture is in a pinned imm or in the version's tables.
+  *latest_seq = visible_seq_.load(std::memory_order_acquire);
 
   std::vector<Iterator*> children;
-  mem_->Ref();
-  Iterator* mem_iter = mem_->NewIterator();
-  MemTable* mem = mem_;
-  mem_iter->RegisterCleanup([mem] { mem->Unref(); });
-  children.push_back(mem_iter);
-  if (imm_ != nullptr) {
-    imm_->Ref();
-    Iterator* imm_iter = imm_->NewIterator();
-    MemTable* imm = imm_;
-    imm_iter->RegisterCleanup([imm] { imm->Unref(); });
-    children.push_back(imm_iter);
+  for (auto& shard : shards_) {
+    MemTable* mem;
+    MemTable* imm = nullptr;
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      mem = shard->mem;
+      mem->Ref();
+      imm = shard->imm;
+      if (imm != nullptr) imm->Ref();
+    }
+    Iterator* mem_iter = mem->NewIterator();
+    mem_iter->RegisterCleanup([mem] { mem->Unref(); });
+    children.push_back(mem_iter);
+    if (imm != nullptr) {
+      Iterator* imm_iter = imm->NewIterator();
+      imm_iter->RegisterCleanup([imm] { imm->Unref(); });
+      children.push_back(imm_iter);
+    }
   }
 
+  std::lock_guard<std::mutex> lock(mu_);
   VersionPtr ver = versions_->current();
   for (const auto& p : ver->partitions) {
     for (const FileMeta& f : p->unsorted) {
@@ -1037,7 +1367,7 @@ Status UniKVDB::ScanImpl(const ReadOptions& options, const Slice& start,
 // ------------------------------------------------------------ properties
 
 Status UniKVDB::GetBackgroundError() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(err_mu_);
   return bg_error_;
 }
 
@@ -1079,7 +1409,18 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
     *value = buf;
     return true;
   }
+  if (property == Slice("db.last-sequence")) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                  seq_alloc_.load(std::memory_order_acquire));
+    *value = buf;
+    return true;
+  }
   if (property == Slice("db.stats")) {
+    uint64_t stalls = 0, stall_us = 0;
+    for (const auto& sh : shards_) {
+      stalls += sh->write_stalls.load(std::memory_order_relaxed);
+      stall_us += sh->stall_micros.load(std::memory_order_relaxed);
+    }
     std::snprintf(
         buf, sizeof(buf),
         "flushes=%" PRIu64 " merges=%" PRIu64 " scan_merges=%" PRIu64
@@ -1087,8 +1428,7 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
         " gc_write_mb=%.1f write_stalls=%" PRIu64 " stall_micros=%" PRIu64,
         stats_.flushes, stats_.merges, stats_.scan_merges, stats_.gcs,
         stats_.splits, stats_.merge_bytes_written / 1048576.0,
-        stats_.gc_bytes_written / 1048576.0, stats_.write_stalls,
-        stats_.stall_micros);
+        stats_.gc_bytes_written / 1048576.0, stalls, stall_us);
     *value = buf;
     return true;
   }
@@ -1152,6 +1492,11 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
 
 std::string UniKVDB::MetricsTextLocked(const VersionData& ver) {
   std::string result = metrics_.registry.ToString();
+  uint64_t stalls = 0, stall_us = 0;
+  for (const auto& sh : shards_) {
+    stalls += sh->write_stalls.load(std::memory_order_relaxed);
+    stall_us += sh->stall_micros.load(std::memory_order_relaxed);
+  }
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "-- background --\n"
@@ -1165,8 +1510,7 @@ std::string UniKVDB::MetricsTextLocked(const VersionData& ver) {
                 stats_.merge_bytes_read / 1048576.0,
                 stats_.merge_bytes_written / 1048576.0,
                 stats_.gc_bytes_read / 1048576.0,
-                stats_.gc_bytes_written / 1048576.0, stats_.write_stalls,
-                stats_.stall_micros);
+                stats_.gc_bytes_written / 1048576.0, stalls, stall_us);
   result += buf;
   result += "-- partitions --\n";
   for (const auto& p : ver.partitions) {
@@ -1274,6 +1618,11 @@ std::string UniKVDB::MetricsJsonLocked(const VersionData& ver) {
   }
   partitions += ']';
 
+  uint64_t stalls = 0, stall_us = 0;
+  for (const auto& sh : shards_) {
+    stalls += sh->write_stalls.load(std::memory_order_relaxed);
+    stall_us += sh->stall_micros.load(std::memory_order_relaxed);
+  }
   JsonBuilder stats;
   stats.AddUint("flushes", stats_.flushes);
   stats.AddUint("merges", stats_.merges);
@@ -1285,8 +1634,8 @@ std::string UniKVDB::MetricsJsonLocked(const VersionData& ver) {
   stats.AddUint("merge_bytes_written", stats_.merge_bytes_written);
   stats.AddUint("gc_bytes_read", stats_.gc_bytes_read);
   stats.AddUint("gc_bytes_written", stats_.gc_bytes_written);
-  stats.AddUint("write_stalls", stats_.write_stalls);
-  stats.AddUint("stall_micros", stats_.stall_micros);
+  stats.AddUint("write_stalls", stalls);
+  stats.AddUint("stall_micros", stall_us);
 
   JsonBuilder root;
   root.AddRaw("engine", metrics_.registry.ToJson());

@@ -42,10 +42,6 @@ struct UniKVStats {
   uint64_t merge_bytes_read = 0;
   uint64_t gc_bytes_written = 0;
   uint64_t gc_bytes_read = 0;
-  /// Write-stall visibility: episodes where MakeRoomForWrite had to wait
-  /// for an in-flight flush, and the total time writers spent waiting.
-  uint64_t write_stalls = 0;
-  uint64_t stall_micros = 0;
 };
 
 /// Background work done on behalf of one partition (guarded by the DB
@@ -163,18 +159,113 @@ class UniKVDB : public DB {
   friend class DB;
   struct Writer;
 
+  /// One foreground write shard (DESIGN.md §10). Keys are striped across
+  /// shards by user-key hash; each shard owns a memtable pair, a WAL
+  /// (.swal), a writer deque with LevelDB-style group commit, and its own
+  /// stall accounting — so concurrent writers to different shards never
+  /// contend. Lock order: mu_ (DB) -> mu (shard) -> log_mu (shard);
+  /// err_mu_ is a leaf taken after any of them.
+  struct WriteShard {
+    /// Guards the writer queue, memtable pointers, rotation, and the
+    /// stall wait. Writers take this, never mu_.
+    std::mutex mu;
+    std::condition_variable cv;  // Queue-front handoff + stall wakeup.
+
+    MemTable* mem = nullptr;
+    MemTable* imm = nullptr;  // Non-null while a rotation awaits flush.
+    std::unique_ptr<WritableFile> wal_file;
+    std::unique_ptr<log::Writer> wal;
+    /// Numbers of the active WAL and (while imm != nullptr) the retired
+    /// WAL the imm's contents live in; 0 = no retired WAL. Atomics so the
+    /// flush installer can compute the manifest log-number floor.
+    std::atomic<uint64_t> wal_number{0};
+    std::atomic<uint64_t> imm_wal_number{0};
+
+    std::deque<Writer*> writers;
+    WriteBatch scratch;  // Group-commit scratch batch.
+
+    /// Serializes {sequence allocation, WAL append, own sync} as one
+    /// critical section, and cross-shard syncs against rotation. Held by
+    /// the group leader (inside mu) and, alone, by sync writers and the
+    /// flush installer syncing peer shards.
+    std::mutex log_mu;
+    /// Lowest sequence the active WAL may hold unsynced: 0 = fully
+    /// synced, kSeqAllocating = a group is mid-allocation (transient,
+    /// nanoseconds). Published (seq_cst) BEFORE the group allocates its
+    /// sequences and reset to 0 only by a Sync covering the append — so
+    /// a reader holding sequence C who then sees 0 or a value > C has a
+    /// lock-free proof that every sequence <= C on this shard is
+    /// durable. Mutated only under log_mu; read lock-free by the
+    /// sync-all fast path (see SyncAllShardWals).
+    std::atomic<uint64_t> first_unsynced_seq{0};
+
+    /// Scheduler-visible flush signal (set by rotation, cleared by the
+    /// flush install). flush_in_progress is scheduler claim state and is
+    /// guarded by mu_, not by this shard's mu.
+    std::atomic<bool> has_imm{false};
+    bool flush_in_progress = false;
+
+    /// Per-shard write-stall accounting; aggregated into db.stats /
+    /// db.metrics[.json] / the stats sampler.
+    std::atomic<uint64_t> write_stalls{0};
+    std::atomic<uint64_t> stall_micros{0};
+  };
+
   Status Recover();
-  Status ReplayWal(uint64_t number, MemTable* mem, SequenceNumber* max_seq);
+  /// One WAL record (one group-committed batch) read back at recovery.
+  struct WalBatch {
+    SequenceNumber seq = 0;
+    uint32_t count = 0;
+    std::string contents;
+  };
+  /// Reads every batch from one WAL into *out (torn tails are silently
+  /// ignored, mid-file corruption is an error). Recovery merges batches
+  /// from all shard WALs by sequence number before replaying.
+  Status CollectWalBatches(const std::string& fname,
+                           std::vector<WalBatch>* out);
   Status RebuildHashIndexes();
   Status InsertTableIntoIndex(HashIndex* index, const FileMeta& f);
 
-  /// Ensures mem_ has room (rotating memtable+WAL when full). With
+  /// The shard responsible for `user_key` (stable hash stripe; not
+  /// persisted, so write_shards may change across restarts).
+  uint32_t ShardOf(const Slice& user_key) const;
+  /// Publishes `seq` as visible to readers (CAS-max); called after the
+  /// memtable insert, before the writers are acked.
+  void AdvanceVisibleSeq(uint64_t seq);
+
+  /// Ensures s->mem has room (rotating memtable+WAL when full). With
   /// `force`, rotates a non-empty memtable unconditionally — the manual
-  /// FlushMemTable path. Only the front writer calls this, so the WAL is
-  /// never rotated under a concurrent AddRecord.
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force);
-  WriteBatch* BuildBatchGroup(Writer** last_writer);
-  Status SwitchWal();
+  /// FlushMemTable path. Only the shard's front writer calls this, so the
+  /// WAL is never rotated under a concurrent same-shard AddRecord (the
+  /// swap itself happens under log_mu against cross-shard syncs).
+  Status MakeRoomForWrite(WriteShard* s, std::unique_lock<std::mutex>& lock,
+                          bool force);
+  WriteBatch* BuildBatchGroup(WriteShard* s, Writer** last_writer);
+  Status SwitchWal(WriteShard* s);
+  /// The whole write path of one shard: queue, group commit, WAL append +
+  /// sync, memtable insert, visibility publish.
+  Status WriteToShard(WriteShard* s, const WriteOptions& options,
+                      WriteBatch* updates);
+  /// Sentinel for WriteShard::first_unsynced_seq: a group has claimed
+  /// the shard but not yet allocated its sequences, so its eventual
+  /// sequences are unknown and must be assumed low.
+  static constexpr uint64_t kSeqAllocating = ~0ull;
+
+  /// Makes every sequence number <= `ceiling` durable — required before
+  /// a sync write (ceiling = its last sequence) is acked and before a
+  /// flush advances the manifest floor. Fast path: a lock-free scan of
+  /// the shards' first_unsynced_seq watermarks proves the prefix durable
+  /// without touching any lock (the common case when every writer
+  /// syncs). Slow path: a coordinated round — concurrent callers whose
+  /// ceiling is covered by an in-flight or completed round wait on it
+  /// instead of issuing their own fsync storm, and the round only locks
+  /// and fsyncs shards whose watermark says they matter. With `force`
+  /// (the flush path) every short-circuit is disabled and every live
+  /// WAL is synced: flushes are rare, and an unconditional round keeps
+  /// the env call sequence deterministic for twin-run crash tests
+  /// (whether a skip fires would otherwise depend on how background
+  /// flushes race foreground writers).
+  Status SyncAllShardWals(uint64_t ceiling, bool force = false);
 
   /// Uninstrumented bodies of Write/Scan; the public entry points wrap
   /// them with PerfContext accounting (one fold per op regardless of
@@ -207,6 +298,8 @@ class UniKVDB : public DB {
   struct WorkItem {
     WorkKind kind = WorkKind::kNone;
     std::shared_ptr<const PartitionState> partition;
+    /// For kFlush: index of the shard whose imm is to be flushed.
+    int shard = -1;
   };
 
   void MaybeScheduleWork();
@@ -249,7 +342,7 @@ class UniKVDB : public DB {
   /// partition it was built for in `ver`. Requires mu_ held.
   bool RoutingStillValid(const VersionData& ver,
                          const std::vector<FlushOutput>& outputs);
-  Status CompactMemTable();
+  Status CompactMemTable(size_t shard_idx);
 
   Status MergePartition(std::shared_ptr<const PartitionState> p);
   Status ScanMergePartition(std::shared_ptr<const PartitionState> p);
@@ -317,6 +410,9 @@ class UniKVDB : public DB {
   Options options_;
   const std::string dbname_;
   Env* env_;
+  /// Exclusive claim on dbname_ (the LOCK file), held from Recover until
+  /// destruction so a second instance cannot sweep this one's files.
+  FileLock* db_lock_ = nullptr;
   InternalKeyComparator icmp_;
   EngineMetrics metrics_;  // Before the caches that hold counter pointers.
   std::unique_ptr<EventLogger> event_log_;
@@ -325,20 +421,51 @@ class UniKVDB : public DB {
   std::unique_ptr<ValueLogCache> vlog_cache_;
   std::unique_ptr<ThreadPool> fetch_pool_;
 
+  // ---- Sharded foreground write path (DESIGN.md §10) ----
+
+  /// Fixed at Open from options_.write_shards (clamped to [1, 64]).
+  /// Writers touch only their shard; the DB mutex below guards background
+  /// scheduling and version state, never the hot write path.
+  std::vector<std::unique_ptr<WriteShard>> shards_;
+
+  /// Global sequence allocator: the last allocated sequence number. A
+  /// group leader allocates [n+1, n+count] via fetch_add *inside* its
+  /// shard's log_mu critical section, which is what makes gap-cut
+  /// recovery sound (see DESIGN.md §10).
+  std::atomic<uint64_t> seq_alloc_{0};
+  /// Highest sequence published to readers: advanced (CAS-max) after each
+  /// group's memtable insert, before its writers are acked. Get and
+  /// iterators snapshot this, so acked writes are always visible; a
+  /// cross-shard snapshot is best-effort (a lagging group on another
+  /// shard may surface later under an older snapshot).
+  std::atomic<uint64_t> visible_seq_{0};
+
+  /// Cross-shard sync coordinator (DESIGN.md §10). A sync-all round
+  /// promises "every sequence allocated before the round began is
+  /// durable"; synced_seq_floor_ records the highest such promise kept.
+  /// Callers whose ceiling is already under the floor return instantly;
+  /// callers arriving while a round is in flight wait for it and
+  /// re-check — so N concurrent sync writers trigger O(1) rounds, not N
+  /// fsync storms. sync_mu_ guards only the flags; it is never held
+  /// across an fsync or while acquiring any other lock.
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_all_in_flight_ = false;    // Guarded by sync_mu_.
+  uint64_t synced_seq_floor_ = 0;      // Guarded by sync_mu_.
+
+  /// Leaf lock for the sticky background error. Writers check
+  /// has_bg_error_ lock-free and only take err_mu_ to read the Status;
+  /// nothing else is ever acquired while holding err_mu_.
+  std::mutex err_mu_;
+  Status bg_error_;  // Guarded by err_mu_ (not mu_).
+  std::atomic<bool> has_bg_error_{false};
+
   // ---- State guarded by mu_ ----
   std::mutex mu_;
   std::condition_variable bg_cv_;      // Signalled when bg work finishes.
   std::condition_variable bg_work_cv_; // Wakes the background thread.
 
-  MemTable* mem_ = nullptr;
-  MemTable* imm_ = nullptr;
-  std::unique_ptr<WritableFile> wal_file_;
-  std::unique_ptr<log::Writer> wal_;
-  uint64_t wal_number_ = 0;
-
   std::unique_ptr<VersionSet> versions_;
-  std::deque<Writer*> writers_;
-  WriteBatch batch_group_scratch_;
 
   // Mutable per-partition side state (not versioned).
   std::unordered_map<uint32_t, std::shared_ptr<HashIndex>> indexes_;
@@ -347,7 +474,6 @@ class UniKVDB : public DB {
   std::unordered_map<uint32_t, PartitionCounters> partition_stats_;
 
   std::set<uint64_t> pending_outputs_;
-  Status bg_error_;
 
   /// Background jobs currently executing across all workers. CompactAll,
   /// FlushMemTable, and the destructor drain on this reaching zero.
@@ -355,8 +481,6 @@ class UniKVDB : public DB {
   /// Partitions with a merge/scan-merge/GC/split in flight; PickWork
   /// skips them so same-partition jobs never overlap.
   std::set<uint32_t> busy_partitions_;
-  /// At most one memtable flush runs at a time (there is only one imm_).
-  bool flush_in_progress_ = false;
 
   bool shutting_down_ = false;
   /// Count of CompactAll callers currently draining; while nonzero the

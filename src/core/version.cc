@@ -261,9 +261,14 @@ Status VersionSet::Apply(const VersionEdit& edit, VersionPtr base,
   }
 
   if (edit.has_log_number_) log_number_ = edit.log_number_;
-  if (edit.has_next_file_number_ &&
-      edit.next_file_number_ > next_file_number_) {
-    next_file_number_ = edit.next_file_number_;
+  if (edit.has_next_file_number_) {
+    // CAS-max: NewFileNumber() may be racing from writer threads rotating
+    // shard WALs, so never move the counter backwards.
+    uint64_t cur = next_file_number_.load(std::memory_order_relaxed);
+    while (edit.next_file_number_ > cur &&
+           !next_file_number_.compare_exchange_weak(
+               cur, edit.next_file_number_, std::memory_order_relaxed)) {
+    }
   }
   if (edit.has_last_sequence_ && edit.last_sequence_ > last_sequence_) {
     last_sequence_ = edit.last_sequence_;
@@ -345,7 +350,7 @@ Status VersionSet::Apply(const VersionEdit& edit, VersionPtr base,
 Status VersionSet::WriteSnapshot(log::Writer* log) {
   VersionEdit edit;
   edit.SetLogNumber(log_number_);
-  edit.SetNextFileNumber(next_file_number_);
+  edit.SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
   edit.SetLastSequence(last_sequence_);
   for (const auto& p : current_->partitions) {
     edit.AddPartition(p->id, p->lower_bound);
@@ -365,7 +370,7 @@ Status VersionSet::CreateNew() {
   // Bootstrap: one empty partition covering the whole key space.
   VersionEdit edit;
   edit.AddPartition(0, "");
-  edit.SetNextFileNumber(next_file_number_);
+  edit.SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
   VersionPtr next;
   Status s = Apply(edit, current_, &next);
   if (!s.ok()) return s;
@@ -421,8 +426,8 @@ Status VersionSet::Recover(bool create_if_missing, bool error_if_exists) {
     uint64_t manifest_number = 0;
     FileType type;
     ParseFileName(manifest, &manifest_number, &type);
-    if (manifest_number >= next_file_number_) {
-      next_file_number_ = manifest_number + 1;
+    if (manifest_number >= next_file_number_.load(std::memory_order_relaxed)) {
+      next_file_number_.store(manifest_number + 1, std::memory_order_relaxed);
     }
 
     Status replay_status;
@@ -477,7 +482,7 @@ Status VersionSet::Recover(bool create_if_missing, bool error_if_exists) {
 }
 
 Status VersionSet::LogAndApply(VersionEdit* edit) {
-  edit->SetNextFileNumber(next_file_number_);
+  edit->SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
   edit->SetLastSequence(last_sequence_);
 
   VersionPtr next;
@@ -493,7 +498,11 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   if (!s.ok()) return s;
 
   pinned_.push_back(current_);
-  current_ = std::move(next);
+  {
+    // Readers copy current_ without the DB mutex; guard the store.
+    std::lock_guard<std::mutex> l(current_mu_);
+    current_ = std::move(next);
+  }
   // Prune dead weak pointers opportunistically.
   if (pinned_.size() > 64) {
     std::erase_if(pinned_, [](const std::weak_ptr<const VersionData>& w) {

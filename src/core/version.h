@@ -1,9 +1,11 @@
 #ifndef UNIKV_CORE_VERSION_H_
 #define UNIKV_CORE_VERSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -176,8 +178,14 @@ class VersionEdit {
   std::vector<std::pair<uint32_t, uint64_t>> index_checkpoints_;
 };
 
-/// Owns the MANIFEST and the chain of immutable versions. All methods
-/// except current() must be called with the owning DB's mutex held.
+/// Owns the MANIFEST and the chain of immutable versions. Mutating
+/// methods (Recover, LogAndApply, SetLastSequence, NewPartitionId,
+/// AddLiveFiles) must be called with the owning DB's mutex held.
+/// current(), NewFileNumber(), LogNumber() and LastSequence() are safe
+/// without it: readers pin a version snapshot via the shared_ptr returned
+/// by current() (guarded by a small internal mutex against concurrent
+/// LogAndApply installs) and can then do I/O against that immutable
+/// snapshot without holding any DB lock.
 class VersionSet {
  public:
   VersionSet(Env* env, std::string dbname);
@@ -194,9 +202,14 @@ class VersionSet {
   /// (synced), and installs the result as the new current version.
   Status LogAndApply(VersionEdit* edit);
 
-  VersionPtr current() const { return current_; }
+  VersionPtr current() const {
+    std::lock_guard<std::mutex> l(current_mu_);
+    return current_;
+  }
 
-  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t NewFileNumber() {
+    return next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  }
   uint32_t NewPartitionId() { return next_partition_id_++; }
   uint64_t LogNumber() const { return log_number_; }
   SequenceNumber LastSequence() const { return last_sequence_; }
@@ -215,12 +228,15 @@ class VersionSet {
   Env* const env_;
   const std::string dbname_;
 
-  uint64_t next_file_number_ = 2;
+  std::atomic<uint64_t> next_file_number_{2};
   uint32_t next_partition_id_ = 1;
   uint64_t manifest_file_number_ = 0;
   uint64_t log_number_ = 0;
   SequenceNumber last_sequence_ = 0;
 
+  /// Guards current_ against a racing LogAndApply install; held only for
+  /// the shared_ptr load/store, never across I/O.
+  mutable std::mutex current_mu_;
   VersionPtr current_;
   std::vector<std::weak_ptr<const VersionData>> pinned_;
 

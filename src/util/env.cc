@@ -1,6 +1,54 @@
 #include "util/env.h"
 
+#include <mutex>
+#include <set>
+
 namespace unikv {
+
+namespace {
+
+// In-process lock registry backing the default Env::LockFile: pathname
+// keyed, so two DB instances in one process exclude each other even on
+// Envs with no OS-level lock (MemEnv, wrappers over it).
+std::mutex g_locked_files_mu;
+std::set<std::string>& LockedFiles() {
+  static std::set<std::string>* files = new std::set<std::string>();
+  return *files;
+}
+
+class InProcessFileLock : public FileLock {
+ public:
+  explicit InProcessFileLock(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+Status Env::LockFile(const std::string& fname, FileLock** lock) {
+  *lock = nullptr;
+  {
+    std::lock_guard<std::mutex> l(g_locked_files_mu);
+    if (!LockedFiles().insert(fname).second) {
+      return Status::IOError(fname, "lock already held");
+    }
+  }
+  *lock = new InProcessFileLock(fname);
+  return Status::OK();
+}
+
+Status Env::UnlockFile(FileLock* lock) {
+  if (lock == nullptr) return Status::OK();
+  auto* held = static_cast<InProcessFileLock*>(lock);
+  {
+    std::lock_guard<std::mutex> l(g_locked_files_mu);
+    LockedFiles().erase(held->name());
+  }
+  delete held;
+  return Status::OK();
+}
 
 namespace {
 

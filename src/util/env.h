@@ -54,12 +54,31 @@ class WritableFile {
 
 /// Env abstracts the operating-system facilities the store uses, so tests
 /// can substitute an in-memory filesystem and benchmarks can instrument I/O.
+/// Opaque handle for a held DB-directory lock; release via
+/// Env::UnlockFile.
+class FileLock {
+ public:
+  FileLock() = default;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  virtual ~FileLock() = default;
+};
+
 class Env {
  public:
   virtual ~Env() = default;
 
   /// The default Env, backed by the local POSIX filesystem. Never deleted.
   static Env* Default();
+
+  /// Acquires an exclusive advisory lock on `fname` (created if missing)
+  /// and returns a handle the caller must release via UnlockFile. Fails —
+  /// without blocking — while any other holder has it. The base
+  /// implementation excludes holders within this process by pathname
+  /// (enough for in-memory Envs); PosixEnv overrides it with flock(2) so
+  /// a second *process* opening the same DB directory is refused too.
+  virtual Status LockFile(const std::string& fname, FileLock** lock);
+  virtual Status UnlockFile(FileLock* lock);
 
   virtual Status NewSequentialFile(const std::string& fname,
                                    std::unique_ptr<SequentialFile>* result) = 0;
@@ -156,6 +175,12 @@ class InstrumentedEnv : public Env {
   }
   Status SyncDir(const std::string& dirname) override {
     return base_->SyncDir(dirname);
+  }
+  Status LockFile(const std::string& fname, FileLock** lock) override {
+    return base_->LockFile(fname, lock);
+  }
+  Status UnlockFile(FileLock* lock) override {
+    return base_->UnlockFile(lock);
   }
   uint64_t NowMicros() override { return base_->NowMicros(); }
   void SleepForMicroseconds(int micros) override {

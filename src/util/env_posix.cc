@@ -1,5 +1,6 @@
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/time.h>
 #include <sys/types.h>
@@ -178,8 +179,53 @@ class PosixWritableFile final : public WritableFile {
   const std::string filename_;
 };
 
+class PosixFileLock : public FileLock {
+ public:
+  PosixFileLock(int fd, std::string filename)
+      : fd_(fd), filename_(std::move(filename)) {}
+  int fd() const { return fd_; }
+  const std::string& filename() const { return filename_; }
+
+ private:
+  int fd_;
+  std::string filename_;
+};
+
 class PosixEnv : public Env {
  public:
+  // flock(2) locks conflict per open file description, so a second
+  // LockFile on the same path is refused whether the holder is another
+  // process or another DB instance in this one.
+  Status LockFile(const std::string& filename, FileLock** lock) override {
+    *lock = nullptr;
+    int fd = ::open(filename.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return PosixError(filename, errno);
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      int err = errno;
+      ::close(fd);
+      return Status::IOError(filename,
+                             err == EWOULDBLOCK
+                                 ? "lock held by another process"
+                                 : std::strerror(err));
+    }
+    *lock = new PosixFileLock(fd, filename);
+    return Status::OK();
+  }
+
+  Status UnlockFile(FileLock* lock) override {
+    if (lock == nullptr) return Status::OK();
+    auto* held = static_cast<PosixFileLock*>(lock);
+    Status s;
+    if (::flock(held->fd(), LOCK_UN) != 0) {
+      s = PosixError(held->filename(), errno);
+    }
+    ::close(held->fd());
+    delete held;
+    return s;
+  }
+
   Status NewSequentialFile(const std::string& filename,
                            std::unique_ptr<SequentialFile>* result) override {
     int fd = ::open(filename.c_str(), O_RDONLY | O_CLOEXEC);

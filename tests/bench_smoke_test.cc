@@ -119,6 +119,52 @@ TEST(BenchSmokeTest, TrajectoryJsonSchemaHolds) {
   EXPECT_GT(NumAfter(json, "\"totals\":", "ops_per_sec"), 0.0);
 }
 
+// Schema v2 additions, exercised through the concurrent-write driver used
+// by bench_scalability: phases[] entries carry "threads" and params
+// carries "write_shards", so the scalability trajectory can be read back
+// without guessing thread counts from phase names.
+TEST(BenchSmokeTest, ConcurrentWriteSchemaV2Holds) {
+  const std::string root = test::NewTestDir("bench_smoke_conc");
+  Options opt;
+  opt.write_buffer_size = 64 * 1024;
+  opt.write_shards = 4;
+  BenchDb bdb(Engine::kUniKV, opt, root);
+
+  std::vector<PhaseResult> phases;
+  ConcurrentWriteSpec spec;
+  spec.phase = "conc_t1";
+  spec.threads = 1;
+  spec.total_ops = 1000;
+  phases.push_back(RunConcurrentWrites(&bdb, spec));
+
+  spec.phase = "conc_t4";
+  spec.threads = 4;
+  spec.key_base = 1'000'000;
+  phases.push_back(RunConcurrentWrites(&bdb, spec));
+
+  const std::string out_dir = test::NewTestDir("bench_smoke_conc_out");
+  const std::string path =
+      WriteBenchTrajectory("smoke_conc", &bdb, phases, out_dir);
+  std::string json = ReadWholeFile(path);
+  ASSERT_FALSE(json.empty());
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+
+  EXPECT_EQ(static_cast<int>(NumAfter(json, "", "schema_version")),
+            kBenchJsonSchemaVersion);
+  EXPECT_EQ(static_cast<int>(NumAfter(json, "\"params\":", "write_shards")),
+            4);
+  // Each phase entry reports the thread count that drove it, and every op
+  // landed: the two phases wrote disjoint key ranges.
+  EXPECT_EQ(static_cast<int>(NumAfter(json, "\"phase\":\"conc_t1\"",
+                                      "threads")),
+            1);
+  EXPECT_EQ(static_cast<int>(NumAfter(json, "\"phase\":\"conc_t4\"",
+                                      "threads")),
+            4);
+  EXPECT_GE(NumAfter(json, "\"phase\":\"conc_t4\"", "ops"), 1000.0);
+  EXPECT_GT(NumAfter(json, "\"phase\":\"conc_t4\"", "ops_per_sec"), 0.0);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace unikv

@@ -42,7 +42,11 @@ class CrashHarness {
     std::string stats;  // Final "db.stats" property text.
   };
 
-  CrashHarness();
+  /// `write_shards` > 1 makes the scripted workload cross-shard: keys hash
+  /// onto that many foreground shards, each with its own WAL, so every
+  /// crash point also exercises the merged-by-sequence recovery path and
+  /// the cross-shard durability floor.
+  explicit CrashHarness(int write_shards = 1);
 
   /// Clean run over a FaultInjectionEnv with tracing: fills *out and
   /// verifies the final and post-reopen state. Returns "" on success,
@@ -76,17 +80,27 @@ class CrashHarness {
   void ApplyToModel(const Op& op, std::map<std::string, std::string>* m) const;
 
   /// Issues ops in order until one fails or the env crashes. Returns C
-  /// (the acknowledged prefix length) and sets *synced_prefix to S.
+  /// (the acknowledged prefix length) and sets *synced_prefix to S. Sets
+  /// *in_flight_at_crash when the crash interrupted an op mid-flight —
+  /// that op is unacknowledged but may already be partially durable (a
+  /// sharded sync write syncs its own WAL before the cross-shard
+  /// sync-all), so verification accepts one cut past C for it.
   size_t RunWorkload(DB* db, const FaultInjectionEnv& env,
-                     size_t* synced_prefix) const;
+                     size_t* synced_prefix,
+                     bool* in_flight_at_crash = nullptr) const;
 
   /// Checks that `db` equals model_at(c) for some c in [synced_prefix,
-  /// acked_ops], and that the store still accepts writes. "" on success.
-  std::string VerifyRecovered(DB* db, size_t synced_prefix,
-                              size_t acked_ops) const;
+  /// acked_ops], that the store's last sequence number equals the matched
+  /// cut's cumulative mutation count plus `probe_mutations` (the probe
+  /// writes earlier verifies left behind) — the cross-shard consistency
+  /// check: one global counter must account for every shard's WAL — and
+  /// that the store still accepts writes. "" on success.
+  std::string VerifyRecovered(DB* db, size_t synced_prefix, size_t acked_ops,
+                              size_t probe_mutations = 0) const;
 
   std::vector<Op> ops_;
   std::set<std::string> universe_;
+  int write_shards_ = 1;
 };
 
 }  // namespace test

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "core/unikv_db.h"
@@ -60,8 +61,8 @@ TEST(DbCrashTest, FaultPointCoverage) {
   EXPECT_GT(profile.reopen_calls, 0u);
 
   // One fault point per op kind, recognized by file-name suffix.
-  EXPECT_TRUE(TraceHas(profile.trace, FaultOp::kAppend, ".wal"));
-  EXPECT_TRUE(TraceHas(profile.trace, FaultOp::kSync, ".wal"));
+  EXPECT_TRUE(TraceHas(profile.trace, FaultOp::kAppend, ".swal"));
+  EXPECT_TRUE(TraceHas(profile.trace, FaultOp::kSync, ".swal"));
   EXPECT_TRUE(TraceHas(profile.trace, FaultOp::kAppend, ".sst"));
   EXPECT_TRUE(TraceHas(profile.trace, FaultOp::kAppend, ".vlog"));
   EXPECT_TRUE(TraceHas(profile.trace, FaultOp::kSync, "MANIFEST"));
@@ -101,6 +102,65 @@ TEST(DbCrashTest, CrashAtEveryFaultPoint) {
 // every counted call of a reopen and verify via a third, clean open.
 TEST(DbCrashTest, ReopenCrashMatrix) {
   test::CrashHarness harness;
+  test::CrashHarness::Profile profile;
+  ASSERT_EQ("", harness.RunProfile(&profile));
+
+  const uint64_t stride = MatrixStride();
+  uint64_t failures = 0;
+  for (uint64_t i = 0; i < profile.reopen_calls; i += stride) {
+    std::string r = harness.RunReopenCrashAt(i);
+    if (!r.empty()) {
+      failures++;
+      EXPECT_EQ("", r) << "crash at reopen call " << i;
+      if (failures >= 5) break;
+    }
+  }
+  EXPECT_EQ(0u, failures);
+}
+
+// The same matrices over a cross-shard workload: four foreground shards,
+// four WALs, every sync-put exercising the sync-all durability floor.
+// Coverage first — the workload must actually spread across shard WALs.
+TEST(DbCrashTest, ShardedFaultPointCoverage) {
+  test::CrashHarness harness(/*write_shards=*/4);
+  test::CrashHarness::Profile profile;
+  ASSERT_EQ("", harness.RunProfile(&profile));
+
+  std::set<std::string> shard_wals;
+  for (const auto& rec : profile.trace) {
+    if (rec.op == FaultOp::kAppend &&
+        rec.filename.find(".swal") != std::string::npos) {
+      shard_wals.insert(rec.filename);
+    }
+  }
+  EXPECT_GE(shard_wals.size(), 2u)
+      << "workload keys hash onto fewer than 2 shard WALs";
+}
+
+// Crash at every counted Env call of the cross-shard workload. Recovery
+// must merge the shard WALs by sequence number and land on a consistent
+// prefix cut — including the cross-shard last-sequence check.
+TEST(DbCrashTest, ShardedCrashAtEveryFaultPoint) {
+  test::CrashHarness harness(/*write_shards=*/4);
+  test::CrashHarness::Profile profile;
+  ASSERT_EQ("", harness.RunProfile(&profile));
+
+  const uint64_t stride = MatrixStride();
+  uint64_t failures = 0;
+  for (uint64_t i = 0; i < profile.workload_calls; i += stride) {
+    std::string r = harness.RunCrashAt(i);
+    if (!r.empty()) {
+      failures++;
+      EXPECT_EQ("", r) << "crash at call " << i;
+      if (failures >= 5) break;
+    }
+  }
+  EXPECT_EQ(0u, failures);
+}
+
+// Crash at every counted call of a reopen that replays four shard WALs.
+TEST(DbCrashTest, ShardedReopenCrashMatrix) {
+  test::CrashHarness harness(/*write_shards=*/4);
   test::CrashHarness::Profile profile;
   ASSERT_EQ("", harness.RunProfile(&profile));
 
@@ -208,7 +268,7 @@ TEST(DbCrashTest, FailedWalSyncLatchesBackgroundError) {
   ASSERT_TRUE(
       db->Put(WriteOptions(), test::TestKey(1), test::TestValue(1)).ok());
 
-  fenv.FailAt(FaultOp::kSync, ".wal", 0, /*sticky=*/true);
+  fenv.FailAt(FaultOp::kSync, ".swal", 0, /*sticky=*/true);
   WriteOptions sync_write;
   sync_write.sync = true;
   Status ws = db->Put(sync_write, test::TestKey(2), test::TestValue(2));

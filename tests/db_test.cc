@@ -308,5 +308,28 @@ TEST_F(DbTest, MissingDbWithoutCreate) {
   EXPECT_FALSE(DB::Open(opt, dir, &raw).ok());
 }
 
+TEST_F(DbTest, SecondOpenOnSameDirRefused) {
+  OpenDb(SmallOptions(), "_lock");
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());
+
+  // A second instance on the live directory must be refused outright:
+  // its obsolete-file sweep would delete tables the first instance still
+  // serves. (Exactly this happened when two test binaries shared a
+  // scratch directory.)
+  DB* second = nullptr;
+  Status s = DB::Open(SmallOptions(), dir_, &second);
+  EXPECT_FALSE(s.ok()) << "second Open must fail while the first is live";
+  EXPECT_EQ(second, nullptr);
+
+  // The first instance is unharmed, and closing it releases the claim.
+  EXPECT_EQ("v", Get("k"));
+  db_.reset();
+  ASSERT_TRUE(DB::Open(SmallOptions(), dir_, &second).ok());
+  std::unique_ptr<DB> reopened(second);
+  std::string value;
+  EXPECT_TRUE(reopened->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
 }  // namespace
 }  // namespace unikv

@@ -7,6 +7,7 @@ namespace {
 
 TEST(FileName, Construction) {
   EXPECT_EQ("/db/000007.wal", WalFileName("/db", 7));
+  EXPECT_EQ("/db/000008.swal", ShardWalFileName("/db", 8));
   EXPECT_EQ("/db/000123.sst", TableFileName("/db", 123));
   EXPECT_EQ("/db/000045.vlog", ValueLogFileName("/db", 45));
   EXPECT_EQ("/db/000001.hidx", IndexCheckpointFileName("/db", 1));
@@ -23,6 +24,7 @@ TEST(FileName, ParseRoundTrip) {
   };
   const Case cases[] = {
       {"000007.wal", 7, FileType::kWalFile},
+      {"000011.swal", 11, FileType::kShardWalFile},
       {"000123.sst", 123, FileType::kTableFile},
       {"000045.vlog", 45, FileType::kValueLogFile},
       {"000001.hidx", 1, FileType::kIndexCheckpoint},
@@ -45,6 +47,7 @@ TEST(FileName, RejectsGarbage) {
       "",         "foo",        "foo-dx-100.sst", ".sst",   "",
       "manifest", "CURREN",     "CURRENTX",       "100",    "100.",
       "100.xyz",  "abc.sst",    "MANIFEST",       "MANIFEST-x",
+      "100.swa",  ".swal",      "abc.swal",
   };
   for (const char* name : bad) {
     uint64_t number;

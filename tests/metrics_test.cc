@@ -104,6 +104,10 @@ TEST(ConcurrentHistogramTest, SnapshotWhileAdding) {
     uint64_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) h.Add(++i % 100 + 1);
   });
+  // Wait until the writer has demonstrably started; on a single-core box
+  // the main thread can otherwise finish every snapshot before the writer
+  // is first scheduled.
+  while (h.Snapshot().Count() == 0) std::this_thread::yield();
   uint64_t last_count = 0;
   for (int i = 0; i < 200; i++) {
     Histogram snap = h.Snapshot();

@@ -13,12 +13,21 @@
 namespace unikv {
 namespace test {
 
+/// Binaries that compile the same test source twice (the TSan/ASan
+/// variants) must not share scratch directories with their unsanitized
+/// twin: ctest runs them in parallel, and two live DB instances in one
+/// directory sweep each other's files. The sanitizer targets define a
+/// distinguishing tag.
+#ifndef UNIKV_TEST_DIR_TAG
+#define UNIKV_TEST_DIR_TAG ""
+#endif
+
 /// Returns a fresh scratch directory path for the calling test (removed
 /// first if it already exists).
 inline std::string NewTestDir(const std::string& name) {
   const char* base = std::getenv("TEST_TMPDIR");
   std::string dir = std::string(base != nullptr ? base : "/tmp") +
-                    "/unikv_test_" + name;
+                    "/unikv_test_" UNIKV_TEST_DIR_TAG + name;
   RemoveDirRecursively(Env::Default(), dir);
   Env::Default()->CreateDir(dir);
   return dir;
