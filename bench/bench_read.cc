@@ -5,6 +5,13 @@
 // shape: UniKV beats LeveledLSM (single-table probes via the hash index /
 // one binary search vs multi-level search with bloom false positives) and
 // beats TieredLSM by a wider margin (tiered must consult many runs).
+//
+// F6c adds the batched read path: MultiGet at batch sizes 1/8/64/256
+// (uniform and zipfian) against looped Get on the same separated-value
+// dataset, persisted as BENCH_read.json via the trajectory writer.
+
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -69,6 +76,60 @@ int main() {
     double secs = (env->NowMicros() - t0) / 1e6;
     PrintTableRow({EngineName(engine), Fmt(kMisses / secs / 1000.0),
                    Fmt(bdb.io()->bytes_read.load() / 1048576.0)});
+  }
+
+  // F6c — batched reads. One UniKV store with separated values (1KiB >>
+  // value_separation_threshold), looped Get vs MultiGet at growing batch
+  // sizes; kops/s counts keys for both so the rows compare directly. The
+  // whole section is persisted as the repo's BENCH_read.json trajectory.
+  {
+    BenchDb bdb(Engine::kUniKV, BenchOptions(), root);
+    LoadSpec load;
+    load.num_keys = kKeys;
+    load.value_size = kValueSize;
+    std::vector<PhaseResult> phases;
+    phases.push_back(RunLoad(&bdb, load));
+    bdb.io()->Reset();
+
+    PrintTableHeader("F6c batched reads (UniKV, 1KiB separated values)",
+                     {"phase", "batch", "kkeys/s", "p99_us", "read_amp"});
+    for (Distribution dist :
+         {Distribution::kUniform, Distribution::kZipfian}) {
+      const bool uniform = dist == Distribution::kUniform;
+      PointReadSpec get;
+      get.phase = uniform ? "get_uniform" : "get_zipfian";
+      get.num_ops = kReads;
+      get.key_space = kKeys;
+      get.dist = dist;
+      get.value_size = kValueSize;
+
+      std::vector<MultiGetSpec> mgets;
+      for (int batch : {1, 8, 64, 256}) {
+        MultiGetSpec mget;
+        mget.phase = (uniform ? std::string("mget_uniform_b")
+                              : std::string("mget_zipfian_b")) +
+                     std::to_string(batch);
+        mget.num_keys = kReads;
+        mget.batch = batch;
+        mget.key_space = kKeys;
+        mget.dist = dist;
+        mgets.push_back(mget);
+      }
+
+      // Get and MultiGet run as interleaved slices so the looped-Get
+      // baseline and every batch size sample the same machine conditions
+      // (see RunInterleavedBatchedReads).
+      for (const PhaseResult& p :
+           RunInterleavedBatchedReads(&bdb, get, mgets)) {
+        phases.push_back(p);
+        PrintTableRow({p.phase, p.batch > 0 ? std::to_string(p.batch) : "-",
+                       Fmt(p.kops_per_sec),
+                       Fmt(p.latency_us.Percentile(99), 0),
+                       Fmt(p.read_amp, 2)});
+      }
+    }
+    WriteBenchTrajectory("read", &bdb, phases);
+    DumpMetricsJson(&bdb);
   }
   return 0;
 }

@@ -169,14 +169,20 @@ PhaseResult RunLoad(BenchDb* bdb, const LoadSpec& spec) {
 
 PhaseResult RunPointReads(BenchDb* bdb, const PointReadSpec& spec) {
   PhaseResult r;
-  r.phase = "read";
+  r.phase = spec.phase;
+  // Keys are drawn and formatted before the timer starts: the phase
+  // measures the DB, not snprintf and the zipfian generator's pow().
+  KeyGenerator gen(spec.dist, spec.key_space, spec.seed);
+  std::vector<std::string> key_bufs(spec.num_ops);
+  for (uint64_t i = 0; i < spec.num_ops; i++) {
+    key_bufs[i] = KeyGenerator::Key(gen.NextId());
+  }
   PhaseTimer timer(bdb, &r);
   Env* env = Env::Default();
-  KeyGenerator gen(spec.dist, spec.key_space, spec.seed);
   std::string value;
   uint64_t found = 0, logical = 0;
   for (uint64_t i = 0; i < spec.num_ops; i++) {
-    std::string key = KeyGenerator::Key(gen.NextId());
+    const std::string& key = key_bufs[i];
     uint64_t t0 = env->NowMicros();
     Status s = bdb->db()->Get(ReadOptions(), key, &value);
     r.latency_us.Add(env->NowMicros() - t0);
@@ -191,6 +197,98 @@ PhaseResult RunPointReads(BenchDb* bdb, const PointReadSpec& spec) {
       logical > 0 ? static_cast<double>(r.bytes_read) / logical : 0;
   (void)found;
   return r;
+}
+
+PhaseResult RunMultiGet(BenchDb* bdb, const MultiGetSpec& spec) {
+  PhaseResult r;
+  r.phase = spec.phase;
+  r.batch = spec.batch < 1 ? 1 : spec.batch;
+  // Same methodology as RunPointReads: all batches' keys are drawn and
+  // formatted before the timer starts, so the two phases compare DB time
+  // against DB time.
+  KeyGenerator gen(spec.dist, spec.key_space, spec.seed);
+  const uint64_t batches =
+      (spec.num_keys + r.batch - 1) / static_cast<uint64_t>(r.batch);
+  std::vector<std::string> key_bufs(batches * r.batch);
+  for (uint64_t i = 0; i < batches * r.batch; i++) {
+    key_bufs[i] = KeyGenerator::Key(gen.NextId());
+  }
+  PhaseTimer timer(bdb, &r);
+  Env* env = Env::Default();
+  ReadOptions ro;
+  ro.multiget_parallelism = spec.parallelism;
+  std::vector<Slice> keys(r.batch);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  uint64_t logical = 0, keys_fetched = 0;
+  for (uint64_t b = 0; b < batches; b++) {
+    for (int i = 0; i < r.batch; i++) {
+      keys[i] = Slice(key_bufs[b * r.batch + i]);
+    }
+    uint64_t t0 = env->NowMicros();
+    Status s = bdb->db()->MultiGet(ro, keys, &values, &statuses);
+    r.latency_us.Add(env->NowMicros() - t0);
+    if (!s.ok()) {
+      std::fprintf(stderr, "multiget failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    keys_fetched += keys.size();
+    for (size_t i = 0; i < statuses.size(); i++) {
+      if (statuses[i].ok()) logical += keys[i].size() + values[i].size();
+    }
+  }
+  timer.Finish(keys_fetched);
+  r.user_bytes = logical;
+  r.read_amp =
+      logical > 0 ? static_cast<double>(r.bytes_read) / logical : 0;
+  return r;
+}
+
+namespace {
+
+// Folds one interleaved slice into its phase's running total. Rates and
+// amplification are recomputed from the accumulated sums, so the merged
+// result weighs every slice by its actual duration.
+void MergePhaseSlice(const PhaseResult& slice, PhaseResult* into) {
+  if (into->phase.empty()) {
+    *into = slice;
+    return;
+  }
+  into->seconds += slice.seconds;
+  into->ops += slice.ops;
+  into->latency_us.Merge(slice.latency_us);
+  into->bytes_written += slice.bytes_written;
+  into->bytes_read += slice.bytes_read;
+  into->user_bytes += slice.user_bytes;
+  into->perf.Add(slice.perf);
+  into->kops_per_sec =
+      into->seconds > 0 ? into->ops / into->seconds / 1000.0 : 0;
+  into->read_amp =
+      into->user_bytes > 0
+          ? static_cast<double>(into->bytes_read) / into->user_bytes
+          : 0;
+}
+
+}  // namespace
+
+std::vector<PhaseResult> RunInterleavedBatchedReads(
+    BenchDb* bdb, const PointReadSpec& get_spec,
+    const std::vector<MultiGetSpec>& mget_specs, int rounds) {
+  if (rounds < 1) rounds = 1;
+  std::vector<PhaseResult> out(1 + mget_specs.size());
+  for (int r = 0; r < rounds; r++) {
+    PointReadSpec g = get_spec;
+    g.num_ops = get_spec.num_ops / rounds;
+    g.seed = get_spec.seed + static_cast<uint32_t>(r) * 1000003u;
+    MergePhaseSlice(RunPointReads(bdb, g), &out[0]);
+    for (size_t m = 0; m < mget_specs.size(); m++) {
+      MultiGetSpec s = mget_specs[m];
+      s.num_keys = mget_specs[m].num_keys / rounds;
+      s.seed = mget_specs[m].seed + static_cast<uint32_t>(r) * 1000003u;
+      MergePhaseSlice(RunMultiGet(bdb, s), &out[1 + m]);
+    }
+  }
+  return out;
 }
 
 PhaseResult RunScans(BenchDb* bdb, const ScanSpec& spec) {
@@ -521,6 +619,7 @@ std::string BenchTrajectoryJson(const std::string& workload, BenchDb* bdb,
     JsonBuilder pj;
     pj.AddString("phase", r.phase);
     pj.AddInt("threads", r.threads);
+    pj.AddInt("batch", r.batch);
     pj.AddUint("ops", r.ops);
     pj.AddDouble("seconds", r.seconds);
     pj.AddDouble("kops_per_sec", r.kops_per_sec);

@@ -27,6 +27,7 @@ const char* EngineName(Engine e);
 struct PhaseResult {
   std::string phase;
   int threads = 1;  // Client threads that drove the phase.
+  int batch = 0;    // MultiGet batch size; 0 = not a batched phase.
   double seconds = 0;
   uint64_t ops = 0;
   double kops_per_sec = 0;
@@ -82,6 +83,7 @@ struct LoadSpec {
 PhaseResult RunLoad(BenchDb* bdb, const LoadSpec& spec);
 
 struct PointReadSpec {
+  std::string phase = "read";  // Phase label in tables and BENCH JSON.
   uint64_t num_ops = 20000;
   uint64_t key_space = 100000;
   Distribution dist = Distribution::kUniform;
@@ -90,6 +92,35 @@ struct PointReadSpec {
 };
 
 PhaseResult RunPointReads(BenchDb* bdb, const PointReadSpec& spec);
+
+struct MultiGetSpec {
+  std::string phase = "multiget";
+  uint64_t num_keys = 20000;  // Total keys fetched (num_keys/batch batches).
+  int batch = 64;
+  uint64_t key_space = 100000;
+  Distribution dist = Distribution::kUniform;
+  uint32_t seed = 7;
+  int parallelism = 1;  // ReadOptions::multiget_parallelism.
+};
+
+/// Issues MultiGet batches of `batch` keys until num_keys keys have been
+/// fetched. `ops`/`kops_per_sec` count *keys*, not batches, so the phase
+/// is directly comparable against a looped-Get phase; the latency
+/// histogram is per batch.
+PhaseResult RunMultiGet(BenchDb* bdb, const MultiGetSpec& spec);
+
+/// Runs the looped-Get phase and each MultiGet phase as `rounds`
+/// interleaved slices (get, mget[0], mget[1], ..., repeated) and merges
+/// each phase's slices into one PhaseResult, in input order with the Get
+/// phase first. Back-to-back full phases fold machine drift into the
+/// comparison — on a busy host, a phase measured during a slow minute
+/// loses to one measured during a fast minute regardless of the code
+/// under test. Interleaving samples every phase across the same
+/// conditions. Each round draws fresh keys (seed advanced per round);
+/// ops counts divide evenly across rounds.
+std::vector<PhaseResult> RunInterleavedBatchedReads(
+    BenchDb* bdb, const PointReadSpec& get_spec,
+    const std::vector<MultiGetSpec>& mget_specs, int rounds = 5);
 
 struct ScanSpec {
   uint64_t num_ops = 500;
@@ -168,7 +199,9 @@ std::string DumpMetricsJson(BenchDb* bdb);
 /// Bumped whenever a field in the BENCH JSON changes shape.
 /// v2: phases[] entries carry "threads" (client threads driving the
 /// phase), params carries "write_shards".
-constexpr int kBenchJsonSchemaVersion = 2;
+/// v3: phases[] entries carry "batch" (MultiGet batch size; 0 for
+/// non-batched phases, whose ops are single keys).
+constexpr int kBenchJsonSchemaVersion = 3;
 
 /// Renders the BENCH JSON document for one workload run: schema_version,
 /// workload name, engine, environment (cores, build type, sanitizer,

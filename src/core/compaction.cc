@@ -339,6 +339,20 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, const VersionPtr& base,
 
 namespace {
 
+// Layout for SortedStore tables (merge and GC outputs): every entry a
+// restart point, so point probes binary-search full keys instead of
+// prefix-decoding a scan run (Options::sorted_block_restart_interval).
+TableOptions SortedTableOptions(const Options& options) {
+  TableOptions opt = options.table_options;
+  if (options.sorted_block_restart_interval > 0) {
+    opt.block_restart_interval = options.sorted_block_restart_interval;
+  }
+  if (options.sorted_block_size > 0) {
+    opt.block_size = options.sorted_block_size;
+  }
+  return opt;
+}
+
 // Writes a hash-index checkpoint image with an explicit covered-id list.
 Status WriteCheckpointFile(Env* env, const std::string& fname,
                            const HashIndex& index,
@@ -638,8 +652,8 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     outputs.back().meta.number = number;
     Status rs = env_->NewWritableFile(TableFileName(dbname_, number), &out_file);
     if (!rs.ok()) return rs;
-    builder =
-        std::make_unique<TableBuilder>(options_.table_options, out_file.get());
+    builder = std::make_unique<TableBuilder>(SortedTableOptions(options_),
+                                             out_file.get());
     first_key.clear();
     return Status::OK();
   };
@@ -1048,8 +1062,8 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
     outputs.back().number = number;
     Status rs = env_->NewWritableFile(TableFileName(dbname_, number), &out_file);
     if (!rs.ok()) return rs;
-    builder =
-        std::make_unique<TableBuilder>(options_.table_options, out_file.get());
+    builder = std::make_unique<TableBuilder>(SortedTableOptions(options_),
+                                             out_file.get());
     return Status::OK();
   };
 

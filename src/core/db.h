@@ -37,6 +37,22 @@ class DB {
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
 
+  /// Batched point lookup: fetches `keys[i]` into `(*values)[i]` with its
+  /// outcome in `(*statuses)[i]` (NotFound for absent keys). Both output
+  /// vectors are resized to keys.size(); a value slot whose status is not
+  /// OK is left in an unspecified state (reusing the vectors across
+  /// batches keeps each slot's allocation). Returns OK when every per-key
+  /// status is OK or NotFound, else the first real error. The default
+  /// loops Get (per-key snapshots); UniKV overrides it with a real
+  /// batched path — one snapshot + version pin per batch (a concurrent
+  /// write batch is visible to all of the MultiGet or none of it), bulk
+  /// hash-index probes, table-handle reuse, coalesced value-log I/O —
+  /// see DESIGN.md §11.
+  virtual Status MultiGet(const ReadOptions& options,
+                          const std::vector<Slice>& keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses);
+
   /// Heap-allocated iterator over user keys (newest version, tombstones
   /// hidden). Delete it before the DB.
   virtual Iterator* NewIterator(const ReadOptions& options) = 0;

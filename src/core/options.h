@@ -51,6 +51,28 @@ struct Options {
   /// Target size of each SortedStore SSTable produced by merges/GC.
   size_t sorted_table_size = 2 * 1024 * 1024;
 
+  /// Data-block size for SortedStore tables (merge and GC outputs).
+  /// 0 inherits table_options.block_size. Once values separate, a
+  /// SortedStore entry is just a key plus a value pointer (~40 bytes), so
+  /// a 4KiB block holds only ~100 entries: every point probe lands in a
+  /// different block and pays a full block-cache lookup, and batched
+  /// sorted probes almost never reuse the previously pinned block.
+  /// Larger blocks amortize both (binary search only grows
+  /// logarithmically with entries per block); the cost is coarser reads
+  /// on a cold block-cache miss. 16KiB keeps that cold read moderate.
+  size_t sorted_block_size = 16 * 1024;
+
+  /// Restart interval for SortedStore data blocks (merge and GC outputs).
+  /// SortedStore entries are short — a key plus a value pointer once
+  /// values separate — so prefix compression saves almost nothing, while
+  /// every point probe pays a linear prefix-decode scan between restart
+  /// points. 1 makes every entry a restart: the in-block search becomes a
+  /// pure binary search over full keys and the scan disappears.
+  /// UnsortedStore tables keep table_options.block_restart_interval
+  /// (default 16): their blocks carry full values, where the prefix bytes
+  /// saved are cheap relative to the payload.
+  int sorted_block_restart_interval = 1;
+
   /// Values shorter than this stay inline in SortedStore tables instead
   /// of being separated into the value logs (the paper's suggested
   /// mitigation for small-KV workloads, where pointer overhead and
@@ -67,6 +89,17 @@ struct Options {
   /// Thread-pool size for parallel value fetches during scans and GC
   /// (the paper uses 32; scale to the machine).
   int value_fetch_threads = 8;
+
+  /// MultiGet value-log coalescing: two value pointers into the same log
+  /// whose byte ranges are within this many bytes of each other are
+  /// fetched as one span. 0 coalesces only truly adjacent/overlapping
+  /// records. Spans are served zero-copy from the log's memory mapping
+  /// when the Env supports it (gap bytes then cost nothing — they are
+  /// never touched); on the pread fallback the gap bytes are read and
+  /// discarded, so the default is one page: bridging more than a few
+  /// records' worth to save one syscall is a net loss there — raise it
+  /// (e.g. to 64KB) only for cold data on seek-bound media.
+  size_t multiget_coalesce_gap_bytes = 4096;
 
   /// Background maintenance workers. Each worker picks one job at a time
   /// (memtable flush, merge, scan merge, GC, or split); jobs touching the
@@ -142,6 +175,12 @@ struct Options {
 struct ReadOptions {
   bool verify_checksums = false;
   bool fill_cache = true;
+
+  /// MultiGet only: upper bound on reader tasks a batch may fan out
+  /// across the value-fetch pool when its keys span several partitions.
+  /// <= 1 (the default) resolves every partition group on the calling
+  /// thread. Clamped to the pool size (Options::value_fetch_threads).
+  int multiget_parallelism = 1;
 };
 
 struct WriteOptions {

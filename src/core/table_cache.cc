@@ -77,6 +77,30 @@ Status TableCache::Get(uint64_t file_number, uint64_t file_size,
   return s;
 }
 
+TableCache::BatchPin::~BatchPin() {
+  for (const auto& [number, handle] : handles_) {
+    cache_->cache_->Release(reinterpret_cast<Cache::Handle*>(handle));
+  }
+}
+
+Status TableCache::GetPinned(BatchPin* pin, uint64_t file_number,
+                             uint64_t file_size, const Slice& internal_key,
+                             bool* found, std::string* key_out,
+                             std::string* value_out, Table::Probe* probe) {
+  void* handle = nullptr;
+  auto it = pin->handles_.find(file_number);
+  if (it != pin->handles_.end()) {
+    handle = it->second;
+  } else {
+    Status s = FindTable(file_number, file_size, &handle);
+    if (!s.ok()) return s;
+    pin->handles_.emplace(file_number, handle);
+  }
+  Cache::Handle* h = reinterpret_cast<Cache::Handle*>(handle);
+  Table* table = reinterpret_cast<Table*>(cache_->Value(h));
+  return table->Get(internal_key, found, key_out, value_out, probe);
+}
+
 bool TableCache::KeyMayMatch(uint64_t file_number, uint64_t file_size,
                              const Slice& user_key) {
   void* handle = nullptr;

@@ -4,16 +4,19 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/iterator.h"
 #include "core/options.h"
+#include "table/table.h"
 #include "util/status.h"
 
 namespace unikv {
 
 class Cache;
 class Env;
-class Table;
 
 /// Caches open Table readers keyed by file number. Thread-safe.
 class TableCache {
@@ -36,6 +39,35 @@ class TableCache {
   Status Get(uint64_t file_number, uint64_t file_size,
              const Slice& internal_key, bool* found, std::string* key_out,
              std::string* value_out);
+
+  /// Keeps the LRU handles of the tables one batched operation touches
+  /// pinned until destruction, so N lookups of the same table inside one
+  /// MultiGet batch cost one cache Lookup/Release pair instead of N
+  /// (per-key handle churn is pure shared-LRU contention). Single-caller;
+  /// must not outlive the TableCache.
+  class BatchPin {
+   public:
+    explicit BatchPin(TableCache* cache) : cache_(cache) {}
+    ~BatchPin();
+
+    BatchPin(const BatchPin&) = delete;
+    BatchPin& operator=(const BatchPin&) = delete;
+
+   private:
+    friend class TableCache;
+    TableCache* const cache_;
+    /// file_number -> pinned handle (release deferred to ~BatchPin).
+    std::unordered_map<uint64_t, void*> handles_;
+  };
+
+  /// Get through `pin`: the table handle is resolved via the pin's local
+  /// map first and stays pinned for the pin's lifetime. `probe` (optional)
+  /// additionally carries the last resolved data block between calls; it
+  /// must be released before `pin` is destroyed.
+  Status GetPinned(BatchPin* pin, uint64_t file_number, uint64_t file_size,
+                   const Slice& internal_key, bool* found,
+                   std::string* key_out, std::string* value_out,
+                   Table::Probe* probe = nullptr);
 
   /// Bloom pre-check for a user key (always true if no filter).
   bool KeyMayMatch(uint64_t file_number, uint64_t file_size,

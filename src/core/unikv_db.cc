@@ -38,6 +38,11 @@ EngineMetrics::EngineMetrics() {
   vlog_reads = registry.GetCounter("vlog_reads");
   vlog_span_reads = registry.GetCounter("vlog_span_reads");
   vlog_read_bytes = registry.GetCounter("vlog_read_bytes");
+  vlog_mmap_reads = registry.GetCounter("vlog_mmap_reads");
+  multigets = registry.GetCounter("multigets");
+  multiget_keys = registry.GetCounter("multiget_keys");
+  multiget_coalesced_reads = registry.GetCounter("multiget_coalesced_reads");
+  multiget_io_bytes_saved = registry.GetCounter("multiget_io_bytes_saved");
   writes = registry.GetCounter("writes");
   write_bytes = registry.GetCounter("write_bytes");
   write_stalls = registry.GetCounter("write_stalls");
@@ -50,6 +55,8 @@ EngineMetrics::EngineMetrics() {
   get_latency = registry.GetHistogram("get_latency_us");
   write_latency = registry.GetHistogram("write_latency_us");
   scan_latency = registry.GetHistogram("scan_latency_us");
+  multiget_latency = registry.GetHistogram("multiget_latency_us");
+  multiget_keys_per_batch = registry.GetHistogram("multiget_keys_per_batch");
   flush_latency = registry.GetHistogram("flush_latency_us");
   merge_latency = registry.GetHistogram("merge_latency_us");
   scan_merge_latency = registry.GetHistogram("scan_merge_latency_us");
@@ -86,6 +93,14 @@ void EngineMetrics::FoldPerf(const PerfContext& d) {
     memtable_micros_total->Add(d.write_memtable_micros);
   }
   if (d.scans) scans->Add(d.scans);
+  if (d.multigets) multigets->Add(d.multigets);
+  if (d.multiget_keys) multiget_keys->Add(d.multiget_keys);
+  if (d.multiget_coalesced_reads) {
+    multiget_coalesced_reads->Add(d.multiget_coalesced_reads);
+  }
+  if (d.multiget_io_bytes_saved) {
+    multiget_io_bytes_saved->Add(d.multiget_io_bytes_saved);
+  }
 }
 
 namespace {
@@ -149,6 +164,21 @@ Status DB::Scan(const ReadOptions& options, const Slice& start, int count,
   return iter->status();
 }
 
+Status DB::MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                    std::vector<std::string>* values,
+                    std::vector<Status>* statuses) {
+  values->clear();
+  values->resize(keys.size());
+  statuses->assign(keys.size(), Status::OK());
+  Status first_err;
+  for (size_t i = 0; i < keys.size(); i++) {
+    Status s = Get(options, keys[i], &(*values)[i]);
+    (*statuses)[i] = s;
+    if (!s.ok() && !s.IsNotFound() && first_err.ok()) first_err = s;
+  }
+  return first_err;
+}
+
 Status DestroyDB(const Options& options, const std::string& name) {
   Env* env = options.env != nullptr ? options.env : Env::Default();
   return RemoveDirRecursively(env, name);
@@ -174,7 +204,8 @@ UniKVDB::UniKVDB(const Options& options, const std::string& dbname)
       env_, dbname_, options_.table_options, block_cache_.get());
   vlog_cache_ = std::make_unique<ValueLogCache>(env_, dbname_);
   vlog_cache_->SetCounters(metrics_.vlog_reads, metrics_.vlog_span_reads,
-                           metrics_.vlog_read_bytes);
+                           metrics_.vlog_read_bytes,
+                           metrics_.vlog_mmap_reads);
   event_log_ = std::make_unique<EventLogger>(env_, dbname_,
                                              options_.max_event_log_bytes);
   fetch_pool_ = std::make_unique<ThreadPool>(options_.value_fetch_threads);
@@ -1021,10 +1052,386 @@ Status UniKVDB::Get(const ReadOptions& /*options*/, const Slice& key,
   return s;
 }
 
+// ----------------------------------------------- batched read (MultiGet)
+
+Status UniKVDB::MultiGet(const ReadOptions& options,
+                         const std::vector<Slice>& keys,
+                         std::vector<std::string>* values,
+                         std::vector<Status>* statuses) {
+  PerfContext* perf = GetPerfContext();
+  // Unlike point gets, a batch amortizes its two clock reads over every
+  // key, so MultiGet latency is timed exactly rather than sampled.
+  const uint64_t start_us = env_->NowMicros();
+  perf->multigets++;
+  perf->multiget_keys += keys.size();
+  Status s = MultiGetImpl(options, keys, values, statuses);
+  const uint64_t dur = env_->NowMicros() - start_us;
+  perf->multiget_micros += dur;
+  metrics_.multiget_latency->Add(dur == 0 ? 1 : dur);
+  metrics_.multiget_keys_per_batch->Add(keys.size());
+  PerfEndOp(perf);
+  return s;
+}
+
+Status UniKVDB::MultiGetImpl(const ReadOptions& options,
+                             const std::vector<Slice>& keys,
+                             std::vector<std::string>* values,
+                             std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  // resize() (not clear+resize) so a caller reusing its vectors across
+  // batches keeps each slot's string capacity: values are assigned over,
+  // never appended. Slots whose status ends up non-OK are unspecified.
+  values->resize(n);
+  statuses->assign(n, Status::OK());
+  if (n == 0) return Status::OK();
+
+  PerfContext* perf = GetPerfContext();
+
+  // One snapshot for the whole batch: every key reads at or below the
+  // same published sequence, so a concurrent write batch is visible to
+  // all of the MultiGet or to none of it.
+  const SequenceNumber snapshot =
+      visible_seq_.load(std::memory_order_acquire);
+
+  // Pin every touched shard's memtables once, *before* capturing the
+  // version (same order as Get: an entry flushed mid-capture is in a
+  // pinned imm or in the version's tables, never in neither).
+  struct ShardPin {
+    MemTable* mem = nullptr;
+    MemTable* imm = nullptr;
+  };
+  std::vector<uint32_t> shard_of(n);
+  std::vector<ShardPin> pins(shards_.size());
+  for (size_t i = 0; i < n; i++) shard_of[i] = ShardOf(keys[i]);
+  for (size_t i = 0; i < n; i++) {
+    ShardPin& pin = pins[shard_of[i]];
+    if (pin.mem != nullptr) continue;
+    WriteShard* shard = shards_[shard_of[i]].get();
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    pin.mem = shard->mem;
+    pin.mem->Ref();
+    pin.imm = shard->imm;
+    if (pin.imm != nullptr) pin.imm->Ref();
+  }
+
+  // Probe order: key-sorted, so partition routing walks the boundary list
+  // monotonically and each partition group below probes its tables in
+  // ascending key order.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [&keys](size_t a, size_t b) {
+    return keys[a].compare(keys[b]) < 0;
+  });
+
+  // Duplicate keys resolve once: the whole batch reads one snapshot, so
+  // every repeat of a key must produce the same answer. `rep[i]` is the
+  // index that does the work; duplicate slots copy its result at the end.
+  // (Skewed batches repeat their hot keys — a looped Get pays the full
+  // lookup for every repeat.)
+  std::vector<size_t> rep(n);
+  std::vector<size_t> uniq;
+  uniq.reserve(n);
+  for (size_t j = 0; j < n; j++) {
+    const size_t idx = order[j];
+    if (j > 0 && keys[idx] == keys[order[j - 1]]) {
+      rep[idx] = rep[order[j - 1]];
+      continue;
+    }
+    rep[idx] = idx;
+    uniq.push_back(idx);
+  }
+
+  // One mu_ hold for the whole batch captures what must be mutually
+  // consistent — the version and the hash-index candidates — and bumps
+  // the per-partition read-heat counters in bulk. A point Get pays this
+  // lock per key; the batch pays it once.
+  VersionPtr ver;
+  std::vector<int> part_of(n);
+  std::vector<std::vector<uint16_t>> candidates(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ver = versions_->current();
+    // Keys arrive sorted, so partition routing repeats: memoize the last
+    // partition's stats slot instead of re-hashing per key.
+    int last_pi = -1;
+    PartitionCounters* last_stats = nullptr;
+    for (size_t idx : uniq) {
+      const int pi = ver->FindPartition(keys[idx]);
+      part_of[idx] = pi;
+      if (pi != last_pi) {
+        last_pi = pi;
+        last_stats = &partition_stats_[ver->partitions[pi]->id];
+      }
+      last_stats->heat_reads++;
+      // No unsorted tables -> no candidates to find; skip the hash.
+      if (options_.enable_hash_index && !ver->partitions[pi]->unsorted.empty()) {
+        auto it = indexes_.find(ver->partitions[pi]->id);
+        if (it != indexes_.end()) {
+          it->second->Lookup(keys[idx], &candidates[idx]);
+        }
+      }
+    }
+  }
+
+
+  // Memtable probes run lock-free against the pinned tables (skipped
+  // entirely against empty memtables — the common read-mostly case).
+  std::vector<char> done(n, 0);
+  for (size_t idx : uniq) {
+    const ShardPin& pin = pins[shard_of[idx]];
+    const bool mem_live = pin.mem->NumEntries() != 0;
+    const bool imm_live = pin.imm != nullptr && pin.imm->NumEntries() != 0;
+    if (!mem_live && !imm_live) continue;
+    LookupKey lkey(keys[idx], snapshot);
+    Status s;
+    if ((mem_live && pin.mem->Get(lkey, &(*values)[idx], &s)) ||
+        (imm_live && pin.imm->Get(lkey, &(*values)[idx], &s))) {
+      perf->memtable_hits++;
+      (*statuses)[idx] = s;
+      done[idx] = 1;
+    }
+  }
+
+
+  // Group the unresolved keys by partition (members stay key-sorted).
+  std::vector<std::vector<size_t>> groups;
+  {
+    // Sorted keys visit partitions in runs, so almost every key joins the
+    // group just appended; the map only resolves the rare re-visit.
+    std::unordered_map<int, size_t> group_of;
+    int last_part = -1;
+    size_t last_group = 0;
+    for (size_t idx : uniq) {
+      if (done[idx]) continue;
+      if (part_of[idx] != last_part) {
+        auto [it, inserted] =
+            group_of.try_emplace(part_of[idx], groups.size());
+        if (inserted) groups.emplace_back();
+        last_part = part_of[idx];
+        last_group = it->second;
+      }
+      groups[last_group].push_back(idx);
+    }
+  }
+
+  // Probe each partition group's stores with one pinned table-handle set
+  // per group (N probes of the same table cost one cache lookup, not N).
+  // Separated values are not fetched here: their pointers are collected
+  // for the coalescing pass below.
+  struct Deferred {
+    size_t key_idx = 0;
+    ValuePointer ptr;
+  };
+  std::vector<std::vector<Deferred>> deferred_per_group(groups.size());
+
+  auto resolve_group = [this, &keys, &candidates, &part_of, &ver, snapshot,
+                        values, statuses](const std::vector<size_t>& members,
+                                          std::vector<Deferred>* defer) {
+    TableCache::BatchPin pin(table_cache_.get());
+    // Declared after `pin` so the destructor order releases the probe's
+    // block before the table handles it borrows from. Members are probed
+    // in ascending key order, so consecutive keys usually resolve to the
+    // same sorted-store data block and skip its cache lookup entirely.
+    Table::Probe probe;
+    for (size_t idx : members) {
+      const PartitionState& p = *ver->partitions[part_of[idx]];
+      LookupKey lkey(keys[idx], snapshot);
+      bool found = false;
+      Status s = GetFromUnsorted(p, candidates[idx], lkey, &(*values)[idx],
+                                 &found, &pin);
+      if (s.ok() && !found) {
+        ValuePointer dptr;
+        bool is_deferred = false;
+        s = GetFromSorted(p, lkey, &(*values)[idx], &found, &pin, &dptr,
+                          &is_deferred, &probe);
+        if (s.ok() && is_deferred) {
+          defer->push_back(Deferred{idx, dptr});
+          continue;  // Status resolves when the log fetch completes.
+        }
+      }
+      if (s.ok() && !found) s = Status::NotFound(Slice());
+      (*statuses)[idx] = s;
+    }
+  };
+
+  // Optionally fan partition groups across the reader pool. Tasks own
+  // disjoint key indices, so they never write the same output slot.
+  // PerfContext increments made on pool workers stay in those workers'
+  // thread-local contexts (same caveat as parallel scan fetches); the
+  // registry-wired vlog counters and the multiget_* counters below are
+  // unaffected.
+  const int parallelism =
+      std::min({options.multiget_parallelism, static_cast<int>(groups.size()),
+                fetch_pool_->num_threads()});
+  if (parallelism > 1) {
+    ThreadPool::TaskGroup tasks;
+    const size_t chunk = (groups.size() + parallelism - 1) / parallelism;
+    for (size_t begin = 0; begin < groups.size(); begin += chunk) {
+      const size_t end = std::min(begin + chunk, groups.size());
+      fetch_pool_->Schedule(&tasks, [&, begin, end] {
+        for (size_t g = begin; g < end; g++) {
+          resolve_group(groups[g], &deferred_per_group[g]);
+        }
+      });
+    }
+    tasks.Wait();
+  } else {
+    for (size_t g = 0; g < groups.size(); g++) {
+      resolve_group(groups[g], &deferred_per_group[g]);
+    }
+  }
+
+  // One sorted, coalesced fetch pass over every separated value the batch
+  // needs. Sorting by (log, offset) turns random per-key preads into a
+  // few span reads per log; ranges within multiget_coalesce_gap_bytes of
+  // each other share one pread (the gap bytes are read and discarded).
+  std::vector<Deferred> deferred;
+  for (auto& d : deferred_per_group) {
+    deferred.insert(deferred.end(), d.begin(), d.end());
+  }
+
+  if (!deferred.empty()) {
+    std::sort(deferred.begin(), deferred.end(),
+              [](const Deferred& a, const Deferred& b) {
+                if (a.ptr.log_number != b.ptr.log_number) {
+                  return a.ptr.log_number < b.ptr.log_number;
+                }
+                return a.ptr.offset < b.ptr.offset;
+              });
+
+    struct Span {
+      std::vector<size_t> members;  // Indices into `deferred`.
+      uint64_t log_number = 0;
+      uint64_t begin = 0, end = 0;  // Byte span in the log.
+    };
+    constexpr uint64_t kMaxSpan = 1 << 20;
+    const uint64_t gap = options_.multiget_coalesce_gap_bytes;
+    std::vector<Span> spans;
+    for (size_t i = 0; i < deferred.size(); i++) {
+      const ValuePointer& ptr = deferred[i].ptr;
+      const uint64_t pend = ptr.offset + ptr.size;
+      if (!spans.empty()) {
+        Span& last = spans.back();
+        // Unlike the scan path, a batch may carry duplicate keys, so the
+        // merge tolerates overlapping ranges (max-end extension) instead
+        // of requiring disjoint ascending ones.
+        if (last.log_number == ptr.log_number &&
+            ptr.offset <= last.end + gap &&
+            std::max(pend, last.end) - last.begin <= kMaxSpan) {
+          last.members.push_back(i);
+          last.end = std::max(last.end, pend);
+          continue;
+        }
+      }
+      Span next;
+      next.log_number = ptr.log_number;
+      next.begin = ptr.offset;
+      next.end = pend;
+      next.members.push_back(i);
+      spans.push_back(std::move(next));
+    }
+
+    // Spans are fetched against a pinned RandomAccessFile handle, reused
+    // across consecutive spans of the same log (spans arrive log-sorted).
+    auto fetch_spans = [this, &spans, &deferred, &keys, values, statuses](
+                           size_t begin, size_t end) {
+      std::shared_ptr<RandomAccessFile> file;
+      uint64_t file_log = 0;
+      // Grow-only scratch reused across spans: a std::string would
+      // zero-fill every resize, doubling the memory traffic of each read.
+      std::unique_ptr<char[]> scratch;
+      size_t scratch_cap = 0;
+      for (size_t si = begin; si < end; si++) {
+        const Span& sp = spans[si];
+        Status s;
+        if (file == nullptr || file_log != sp.log_number) {
+          s = vlog_cache_->PinLog(sp.log_number, &file);
+          file_log = sp.log_number;
+          if (!s.ok()) file = nullptr;
+        }
+        Slice span_data;
+        if (s.ok()) {
+          const size_t len = static_cast<size_t>(sp.end - sp.begin);
+          if (len > scratch_cap) {
+            scratch_cap = std::max(len, scratch_cap * 2);
+            scratch.reset(new char[scratch_cap]);
+          }
+          s = vlog_cache_->GetSpanPinned(file.get(), sp.begin, len,
+                                         &span_data, scratch.get());
+        }
+        for (size_t mi : sp.members) {
+          const Deferred& d = deferred[mi];
+          Status rs = s;
+          if (rs.ok()) {
+            Slice record(span_data.data() + (d.ptr.offset - sp.begin),
+                         d.ptr.size);
+            Slice rkey, rvalue;
+            rs = DecodeValueRecord(record, &rkey, &rvalue);
+            if (rs.ok() && rkey != keys[d.key_idx]) {
+              rs = Status::Corruption("value log key mismatch");
+            }
+            if (rs.ok()) {
+              (*values)[d.key_idx].assign(rvalue.data(), rvalue.size());
+            }
+          }
+          (*statuses)[d.key_idx] = rs;
+        }
+      }
+    };
+
+    if (parallelism > 1 && spans.size() > 1) {
+      ThreadPool::TaskGroup tasks;
+      const int fanout =
+          std::min(parallelism, static_cast<int>(spans.size()));
+      const size_t chunk = (spans.size() + fanout - 1) / fanout;
+      for (size_t begin = 0; begin < spans.size(); begin += chunk) {
+        const size_t end = std::min(begin + chunk, spans.size());
+        fetch_pool_->Schedule(
+            &tasks, [&fetch_spans, begin, end] { fetch_spans(begin, end); });
+      }
+      tasks.Wait();
+    } else {
+      fetch_spans(0, spans.size());
+    }
+
+    // Count the coalescing win on the calling thread so it reaches this
+    // DB's registry (pool-thread PerfContexts are never folded here):
+    // spans that served several pointers, and the record bytes the merged
+    // members would have re-read as separate point preads.
+    for (const Span& sp : spans) {
+      if (sp.members.size() < 2) continue;
+      perf->multiget_coalesced_reads++;
+      for (size_t k = 1; k < sp.members.size(); k++) {
+        perf->multiget_io_bytes_saved += deferred[sp.members[k]].ptr.size;
+      }
+    }
+  }
+
+
+  for (ShardPin& pin : pins) {
+    if (pin.mem != nullptr) pin.mem->Unref();
+    if (pin.imm != nullptr) pin.imm->Unref();
+  }
+
+  // Duplicate slots copy their representative's answer.
+  for (size_t i = 0; i < n; i++) {
+    if (rep[i] != i) {
+      (*values)[i] = (*values)[rep[i]];
+      (*statuses)[i] = (*statuses)[rep[i]];
+    }
+  }
+
+  for (size_t i = 0; i < n; i++) {
+    const Status& s = (*statuses)[i];
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::OK();
+}
+
 Status UniKVDB::GetFromUnsorted(const PartitionState& p,
                                 std::vector<uint16_t> candidates,
                                 const LookupKey& lkey, std::string* value,
-                                bool* found) {
+                                bool* found, TableCache::BatchPin* pin) {
   *found = false;
   if (p.unsorted.empty()) return Status::OK();
 
@@ -1061,8 +1468,13 @@ Status UniKVDB::GetFromUnsorted(const PartitionState& p,
   for (const FileMeta* f : probe_order) {
     GetPerfContext()->unsorted_tables_probed++;
     bool hit = false;
-    Status s = table_cache_->Get(f->number, f->size, lkey.internal_key(),
-                                 &hit, &found_key, &found_value);
+    Status s =
+        pin != nullptr
+            ? table_cache_->GetPinned(pin, f->number, f->size,
+                                      lkey.internal_key(), &hit, &found_key,
+                                      &found_value)
+            : table_cache_->Get(f->number, f->size, lkey.internal_key(),
+                                &hit, &found_key, &found_value);
     if (!s.ok()) return s;
     if (hit && ExtractUserKey(found_key) == user_key) {
       ValueType type = ExtractValueType(found_key);
@@ -1079,8 +1491,11 @@ Status UniKVDB::GetFromUnsorted(const PartitionState& p,
 }
 
 Status UniKVDB::GetFromSorted(const PartitionState& p, const LookupKey& lkey,
-                              std::string* value, bool* found) {
+                              std::string* value, bool* found,
+                              TableCache::BatchPin* pin, ValuePointer* dptr,
+                              bool* deferred, Table::Probe* probe) {
   *found = false;
+  if (deferred != nullptr) *deferred = false;
   const Slice user_key = lkey.user_key();
   // Binary search the sorted run by largest key (paper: compare boundary
   // keys kept in memory; at most one table can contain the key).
@@ -1103,9 +1518,19 @@ Status UniKVDB::GetFromSorted(const PartitionState& p, const LookupKey& lkey,
   const FileMeta& f = files[target];
   GetPerfContext()->sorted_seeks++;
   bool hit = false;
-  std::string found_key, found_value;
-  Status s = table_cache_->Get(f.number, f.size, lkey.internal_key(), &hit,
-                               &found_key, &found_value);
+  // Batched callers pass a probe whose scratch strings are reused across
+  // the whole group, sparing two heap allocations per key.
+  std::string local_key, local_value;
+  std::string& found_key = probe != nullptr ? probe->key_scratch : local_key;
+  std::string& found_value =
+      probe != nullptr ? probe->value_scratch : local_value;
+  Status s =
+      pin != nullptr
+          ? table_cache_->GetPinned(pin, f.number, f.size,
+                                    lkey.internal_key(), &hit, &found_key,
+                                    &found_value, probe)
+          : table_cache_->Get(f.number, f.size, lkey.internal_key(), &hit,
+                              &found_key, &found_value);
   if (!s.ok()) return s;
   if (!hit || ExtractUserKey(found_key) != user_key) {
     return Status::OK();
@@ -1125,6 +1550,14 @@ Status UniKVDB::GetFromSorted(const PartitionState& p, const LookupKey& lkey,
   Slice encoded(found_value);
   if (!ptr.DecodeFrom(&encoded)) {
     return Status::Corruption("bad value pointer in SortedStore");
+  }
+  if (deferred != nullptr) {
+    // Batched caller: hand the pointer back instead of issuing a point
+    // pread here, so the batch can sort and coalesce its log fetches.
+    *dptr = ptr;
+    *deferred = true;
+    *found = true;
+    return Status::OK();
   }
   std::string stored_key;
   s = vlog_cache_->Get(ptr, value, &stored_key);

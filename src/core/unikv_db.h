@@ -101,6 +101,13 @@ struct EngineMetrics {
   Counter* vlog_reads;
   Counter* vlog_span_reads;
   Counter* vlog_read_bytes;
+  Counter* vlog_mmap_reads;
+
+  // Batched read path (DESIGN.md §11).
+  Counter* multigets;
+  Counter* multiget_keys;
+  Counter* multiget_coalesced_reads;
+  Counter* multiget_io_bytes_saved;
 
   // Write path.
   Counter* writes;
@@ -118,6 +125,8 @@ struct EngineMetrics {
   ConcurrentHistogram* get_latency;
   ConcurrentHistogram* write_latency;
   ConcurrentHistogram* scan_latency;
+  ConcurrentHistogram* multiget_latency;
+  ConcurrentHistogram* multiget_keys_per_batch;
   ConcurrentHistogram* flush_latency;
   ConcurrentHistogram* merge_latency;
   ConcurrentHistogram* scan_merge_latency;
@@ -142,6 +151,9 @@ class UniKVDB : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  Status MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override;
   Iterator* NewIterator(const ReadOptions& options) override;
   Status Scan(const ReadOptions& options, const Slice& start, int count,
               std::vector<std::pair<std::string, std::string>>* out) override;
@@ -395,12 +407,32 @@ class UniKVDB : public DB {
   /// Requires mu_ held.
   std::string StatsHistoryJsonLocked() const;
 
+  /// When `pin` is non-null, table lookups go through it so repeated
+  /// probes of the same table within one batch reuse the pinned handle.
   Status GetFromUnsorted(const PartitionState& p,
                          std::vector<uint16_t> candidates,
                          const LookupKey& lkey, std::string* value,
-                         bool* found);
+                         bool* found, TableCache::BatchPin* pin = nullptr);
+  /// When `dptr`/`deferred` are non-null, a hit on a separated value is
+  /// not fetched from its log: *found and *deferred are set and the
+  /// decoded pointer stored in *dptr, for the caller to resolve (MultiGet
+  /// sorts and coalesces those fetches). `value` then stays untouched.
+  /// `probe` (optional, batched callers) carries the last resolved data
+  /// block and reusable scratch strings across a run of sorted-order keys.
   Status GetFromSorted(const PartitionState& p, const LookupKey& lkey,
-                       std::string* value, bool* found);
+                       std::string* value, bool* found,
+                       TableCache::BatchPin* pin = nullptr,
+                       ValuePointer* dptr = nullptr, bool* deferred = nullptr,
+                       Table::Probe* probe = nullptr);
+
+  /// Body of the batched read path (DESIGN.md §11): one snapshot + shard
+  /// pin + version/index capture per batch, per-partition store probes
+  /// with table-handle reuse, and a sorted, gap-coalesced value-log fetch
+  /// of every separated value the batch touched.
+  Status MultiGetImpl(const ReadOptions& options,
+                      const std::vector<Slice>& keys,
+                      std::vector<std::string>* values,
+                      std::vector<Status>* statuses);
 
   /// Builds a merged internal iterator over memtables and all partitions;
   /// *latest_seq receives the snapshot sequence.

@@ -226,6 +226,73 @@ class Block::Iter : public Iterator {
   }
 };
 
+Status Block::Find(const InternalKeyComparator& cmp, const Slice& target,
+                   bool* found, std::string* key_out,
+                   Slice* value_out) const {
+  *found = false;
+  if (size_ < sizeof(uint32_t)) {
+    return Status::Corruption("bad block contents");
+  }
+  const uint32_t num_restarts = NumRestarts();
+  if (num_restarts == 0) return Status::OK();
+
+  const char* const data = data_;
+  const uint32_t restarts = restart_offset_;
+  const auto restart_point = [data, restarts](uint32_t index) {
+    return DecodeFixed32(data + restarts + index * sizeof(uint32_t));
+  };
+
+  // Binary search in the restart array for the last restart point with a
+  // key < target (restart entries always store full keys: shared == 0).
+  uint32_t left = 0;
+  uint32_t right = num_restarts - 1;
+  while (left < right) {
+    const uint32_t mid = (left + right + 1) / 2;
+    // The search is bound by dependent cache misses on the probed
+    // entries (the restart array itself is contiguous and stays hot).
+    // Prefetch both possible next probes so each level's miss overlaps
+    // the current comparison instead of serializing after it.
+    if (right - left > 2) {
+      __builtin_prefetch(data + restart_point((left + mid) / 2));
+      __builtin_prefetch(data + restart_point((mid + right + 1) / 2));
+    }
+    uint32_t shared, non_shared, value_length;
+    const char* key_ptr = DecodeEntry(data + restart_point(mid),
+                                      data + restarts, &shared, &non_shared,
+                                      &value_length);
+    if (key_ptr == nullptr || shared != 0) {
+      return Status::Corruption("bad entry in block");
+    }
+    if (cmp.Compare(Slice(key_ptr, non_shared), target) < 0) {
+      left = mid;
+    } else {
+      right = mid - 1;
+    }
+  }
+
+  // Linear scan within the restart interval.
+  std::string& key = *key_out;
+  key.clear();
+  const char* p = data + restart_point(left);
+  const char* const limit = data + restarts;
+  while (p < limit) {
+    uint32_t shared, non_shared, value_length;
+    p = DecodeEntry(p, limit, &shared, &non_shared, &value_length);
+    if (p == nullptr || key.size() < shared) {
+      return Status::Corruption("bad entry in block");
+    }
+    key.resize(shared);
+    key.append(p, non_shared);
+    if (cmp.Compare(Slice(key), target) >= 0) {
+      *found = true;
+      *value_out = Slice(p + non_shared, value_length);
+      return Status::OK();
+    }
+    p += non_shared + value_length;
+  }
+  return Status::OK();  // Every entry < target.
+}
+
 Iterator* Block::NewIterator(const InternalKeyComparator& comparator) {
   if (size_ < sizeof(uint32_t)) {
     return NewErrorIterator(Status::Corruption("bad block contents"));

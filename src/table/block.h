@@ -7,6 +7,7 @@
 #include "core/dbformat.h"
 #include "core/iterator.h"
 #include "table/format.h"
+#include "util/status.h"
 
 namespace unikv {
 
@@ -24,6 +25,16 @@ class Block {
 
   /// Iterator over (internal key, value) entries ordered by `cmp`.
   Iterator* NewIterator(const InternalKeyComparator& cmp);
+
+  /// Point seek without constructing an iterator: finds the first entry
+  /// with key >= target. Sets *found and, when found, stores the entry key
+  /// in *key_out (also used as the working buffer for prefix-shared
+  /// decoding — clobbered even on a miss) and points *value_out at the
+  /// value bytes inside the block. Returns non-OK on block corruption.
+  /// This is the hot Get/MultiGet probe path: the iterator form costs two
+  /// heap allocations per probe that this avoids.
+  Status Find(const InternalKeyComparator& cmp, const Slice& target,
+              bool* found, std::string* key_out, Slice* value_out) const;
 
  private:
   class Iter;

@@ -95,44 +95,53 @@ static void ReleaseBlockHandle(Cache* cache, Cache::Handle* handle) {
   cache->Release(handle);
 }
 
-Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
+Status Table::FindBlock(const BlockHandle& handle, Block** block,
+                        Cache::Handle** cache_handle) const {
   Rep* r = rep_;
-  Block* block = nullptr;
-  Cache::Handle* cache_handle = nullptr;
+  *block = nullptr;
+  *cache_handle = nullptr;
 
   if (r->block_cache != nullptr) {
     char cache_key_buffer[16];
     EncodeFixed64(cache_key_buffer, r->cache_id);
     EncodeFixed64(cache_key_buffer + 8, handle.offset());
     Slice key(cache_key_buffer, sizeof(cache_key_buffer));
-    cache_handle = r->block_cache->Lookup(key);
-    if (cache_handle != nullptr) {
+    *cache_handle = r->block_cache->Lookup(key);
+    if (*cache_handle != nullptr) {
       GetPerfContext()->block_cache_hits++;
-      block = reinterpret_cast<Block*>(r->block_cache->Value(cache_handle));
+      *block = reinterpret_cast<Block*>(r->block_cache->Value(*cache_handle));
     } else {
       PerfContext* perf = GetPerfContext();
       perf->block_cache_misses++;
       perf->block_reads++;
       BlockContents contents;
       Status s = ReadBlock(r->file.get(), handle, &contents);
-      if (!s.ok()) return NewErrorIterator(s);
-      block = new Block(contents);
+      if (!s.ok()) return s;
+      *block = new Block(contents);
       if (contents.cachable) {
-        cache_handle = r->block_cache->Insert(key, block, block->size(),
-                                              &DeleteCachedBlock);
+        *cache_handle = r->block_cache->Insert(key, *block, (*block)->size(),
+                                               &DeleteCachedBlock);
       }
     }
   } else {
     GetPerfContext()->block_reads++;
     BlockContents contents;
     Status s = ReadBlock(r->file.get(), handle, &contents);
-    if (!s.ok()) return NewErrorIterator(s);
-    block = new Block(contents);
+    if (!s.ok()) return s;
+    *block = new Block(contents);
   }
+  return Status::OK();
+}
 
-  Iterator* iter = block->NewIterator(r->icmp);
+Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+  Status s = FindBlock(handle, &block, &cache_handle);
+  if (!s.ok()) return NewErrorIterator(s);
+
+  Iterator* iter = block->NewIterator(rep_->icmp);
   if (cache_handle != nullptr) {
-    Cache* cache = r->block_cache;
+    Cache* cache = rep_->block_cache;
     iter->RegisterCleanup(
         [cache, cache_handle] { ReleaseBlockHandle(cache, cache_handle); });
   } else {
@@ -280,33 +289,77 @@ Iterator* Table::NewIterator() const {
   return new TwoLevelIterator(this, rep_->index_block->NewIterator(rep_->icmp));
 }
 
+void Table::Probe::Release() {
+  if (cache_handle != nullptr) {
+    cache->Release(cache_handle);
+  } else {
+    delete block;
+  }
+  table = nullptr;
+  block = nullptr;
+  cache_handle = nullptr;
+  cache = nullptr;
+  block_offset = ~0ull;
+}
+
 Status Table::Get(const Slice& internal_key, bool* found, std::string* key_out,
-                  std::string* value_out) const {
+                  std::string* value_out, Probe* probe) const {
   *found = false;
   RecordAccess();
-  Iterator* index_iter = rep_->index_block->NewIterator(rep_->icmp);
-  index_iter->Seek(internal_key);
-  Status s;
-  if (index_iter->Valid()) {
+  // Iterator-free probe: both block searches run through Block::Find,
+  // reusing *key_out as the shared-prefix working buffer for the index
+  // search (its contents only matter on a data-block hit, which overwrites
+  // it), so the whole probe does no heap allocation of its own.
+  bool index_found = false;
+  Slice index_value;
+  Status s = rep_->index_block->Find(rep_->icmp, internal_key, &index_found,
+                                     key_out, &index_value);
+  if (s.ok() && index_found) {
     BlockHandle handle;
-    Slice input = index_iter->value();
-    s = handle.DecodeFrom(&input);
+    s = handle.DecodeFrom(&index_value);
     if (s.ok()) {
-      Iterator* block_iter = NewBlockIterator(handle);
-      block_iter->Seek(internal_key);
-      if (block_iter->Valid()) {
-        *found = true;
-        key_out->assign(block_iter->key().data(), block_iter->key().size());
-        value_out->assign(block_iter->value().data(),
-                          block_iter->value().size());
+      Block* block = nullptr;
+      Cache::Handle* cache_handle = nullptr;
+      const bool reused = probe != nullptr && probe->table == this &&
+                          probe->block_offset == handle.offset();
+      if (reused) {
+        block = probe->block;
+        if (rep_->block_cache != nullptr) {
+          GetPerfContext()->block_cache_hits++;
+        }
+      } else {
+        s = FindBlock(handle, &block, &cache_handle);
       }
-      s = block_iter->status();
-      delete block_iter;
+      if (s.ok()) {
+        Slice value;
+        s = block->Find(rep_->icmp, internal_key, found, key_out, &value);
+        if (s.ok() && *found) {
+          value_out->assign(value.data(), value.size());
+        }
+        if (!reused) {
+          if (probe != nullptr) {
+            // Keep the block pinned for the caller's next probe.
+            probe->Release();
+            probe->table = this;
+            probe->block_offset = handle.offset();
+            probe->block = block;
+            probe->cache_handle = cache_handle;
+            probe->cache = rep_->block_cache;
+          } else if (cache_handle != nullptr) {
+            rep_->block_cache->Release(cache_handle);
+          } else {
+            delete block;
+          }
+        }
+      } else if (!reused) {
+        if (cache_handle != nullptr) {
+          rep_->block_cache->Release(cache_handle);
+        } else {
+          delete block;
+        }
+      }
     }
-  } else {
-    s = index_iter->status();
   }
-  delete index_iter;
   if (s.ok() && !rep_->filter_data.empty()) {
     // Callers consult KeyMayMatch before Get on filtered tables, so a
     // seek that lands past the sought user key means the filter lied.

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/iterator.h"
+#include "table/cache.h"
 #include "table/table_builder.h"
 #include "util/status.h"
 
@@ -13,7 +15,6 @@ namespace unikv {
 
 class Block;
 class BlockHandle;
-class Cache;
 class RandomAccessFile;
 
 /// An immutable, sorted map from internal keys to values backed by an
@@ -35,10 +36,32 @@ class Table {
   /// Returns a new iterator over the table contents.
   Iterator* NewIterator() const;
 
+  /// Batch-local reuse state for a run of Get() calls with ascending keys
+  /// (one MultiGet partition group probes its keys in sorted order, so
+  /// consecutive keys usually land in the same data block). Holds the last
+  /// resolved block — pinned in the block cache or owned — plus reusable
+  /// output buffers, so repeat hits skip the cache lookup and the per-call
+  /// string allocations. Release() (or destruction) drops the pin; a Probe
+  /// must not outlive the table handle (BatchPin) or block cache it
+  /// borrows from.
+  struct Probe {
+    ~Probe() { Release(); }
+    void Release();
+
+    const Table* table = nullptr;
+    uint64_t block_offset = ~0ull;
+    Block* block = nullptr;
+    Cache::Handle* cache_handle = nullptr;
+    Cache* cache = nullptr;
+    std::string key_scratch;    // Callers' reusable found-key buffer.
+    std::string value_scratch;  // Callers' reusable found-value buffer.
+  };
+
   /// Seeks to the first entry with internal key >= `internal_key`. If such
   /// an entry exists in this table, stores its key/value and sets *found.
+  /// `probe` (optional) carries the last resolved data block between calls.
   Status Get(const Slice& internal_key, bool* found, std::string* key_out,
-             std::string* value_out) const;
+             std::string* value_out, Probe* probe = nullptr) const;
 
   /// Bloom-filter check on a user key. Always true when the table was
   /// built without a filter.
@@ -61,6 +84,12 @@ class Table {
   struct Rep;
 
   explicit Table(Rep* rep) : rep_(rep) {}
+
+  /// Resolves a data block through the block cache (or a direct read).
+  /// On success the caller must Release(*cache_handle) when it is non-null,
+  /// else delete *block.
+  Status FindBlock(const BlockHandle& handle, Block** block,
+                   Cache::Handle** cache_handle) const;
 
   Iterator* NewBlockIterator(const BlockHandle& handle) const;
 

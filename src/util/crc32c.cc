@@ -1,6 +1,12 @@
 #include "util/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define UNIKV_CRC32C_X86 1
+#endif
 
 namespace unikv {
 namespace crc32c {
@@ -30,9 +36,97 @@ struct Tables {
 
 constexpr Tables kTables;
 
+#ifdef UNIKV_CRC32C_X86
+// SSE4.2 CRC32 instruction path (~10x the sliced-table throughput on
+// value-sized payloads — every record read verifies its checksum, so
+// this is on the hot path of Get/MultiGet/Scan). Compiled with a target
+// attribute so the TU needs no global -msse4.2; only called when cpuid
+// reports the instruction at runtime.
+bool HaveSse42() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 20)) != 0;
+}
+
+// The CRC32 instruction has ~3-cycle latency, so a single dependency
+// chain runs at 8 bytes / 3 cycles. Three independent chains over three
+// interleaved lanes saturate the unit's 1/cycle throughput; the lane
+// CRCs are stitched back together with a precomputed "advance the CRC
+// state by kLane zero bytes" linear operator (the CRC of a message
+// suffix is independent of the prefix state, so
+// U(s, A||B) == shift(U(s, A)) ^ U(0, B)).
+constexpr size_t kLane = 336;  // Bytes per lane (42 CRC32 steps).
+
+// shift(s) == raw CRC state after feeding kLane zero bytes from state s.
+// Linear over GF(2), so four 256-entry byte tables compose it.
+struct ShiftTables {
+  uint32_t t[4][256];
+  ShiftTables() {
+    for (int j = 0; j < 4; j++) {
+      for (uint32_t b = 0; b < 256; b++) {
+        uint32_t crc = b << (8 * j);
+        for (size_t k = 0; k < kLane; k++) {
+          crc = (crc >> 8) ^ kTables.t[0][crc & 0xFF];
+        }
+        t[j][b] = crc;
+      }
+    }
+  }
+};
+
+const ShiftTables kShift;
+
+inline uint32_t ShiftLane(uint32_t crc) {
+  return kShift.t[0][crc & 0xFF] ^ kShift.t[1][(crc >> 8) & 0xFF] ^
+         kShift.t[2][(crc >> 16) & 0xFF] ^ kShift.t[3][crc >> 24];
+}
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHw(uint32_t init_crc,
+                                                    const char* data,
+                                                    size_t n) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  uint64_t crc = init_crc ^ 0xFFFFFFFFu;
+  while (n >= 3 * kLane) {
+    uint64_t a = crc, b = 0, c = 0;
+    const uint8_t* pb = p + kLane;
+    const uint8_t* pc = p + 2 * kLane;
+    for (size_t i = 0; i < kLane; i += 8) {
+      uint64_t va, vb, vc;
+      std::memcpy(&va, p + i, 8);
+      std::memcpy(&vb, pb + i, 8);
+      std::memcpy(&vc, pc + i, 8);
+      a = __builtin_ia32_crc32di(a, va);
+      b = __builtin_ia32_crc32di(b, vb);
+      c = __builtin_ia32_crc32di(c, vc);
+    }
+    crc = ShiftLane(ShiftLane(static_cast<uint32_t>(a)) ^
+                    static_cast<uint32_t>(b)) ^
+          static_cast<uint32_t>(c);
+    p += 3 * kLane;
+    n -= 3 * kLane;
+  }
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = __builtin_ia32_crc32di(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  while (n--) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *p++);
+  }
+  return crc32 ^ 0xFFFFFFFFu;
+}
+#endif  // UNIKV_CRC32C_X86
+
 }  // namespace
 
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+#ifdef UNIKV_CRC32C_X86
+  static const bool have_hw = HaveSse42();
+  if (have_hw) return ExtendHw(init_crc, data, n);
+#endif
   const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
   uint32_t crc = init_crc ^ 0xFFFFFFFFu;
   // Process 8 bytes at a time using the sliced tables.

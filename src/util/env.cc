@@ -90,6 +90,14 @@ class CountingRandomAccessFile : public RandomAccessFile {
   void ReadaheadHint(uint64_t offset, size_t n) const override {
     base_->ReadaheadHint(offset, n);
   }
+  bool ReadZeroCopy(uint64_t offset, size_t n, Slice* result) const override {
+    // Still a logical read: count it so read-amplification metrics keep
+    // their meaning whether the bytes came via pread or a mapping.
+    if (!base_->ReadZeroCopy(offset, n, result)) return false;
+    stats_->bytes_read.fetch_add(result->size(), std::memory_order_relaxed);
+    stats_->reads.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
 
  private:
   std::unique_ptr<RandomAccessFile> base_;

@@ -32,6 +32,18 @@ class RandomAccessFile {
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
 
+  /// Zero-copy read: if [offset, offset+n) is directly addressable (e.g.
+  /// the implementation memory-maps the file), points *result at those
+  /// bytes — valid until the file object is destroyed — and returns true.
+  /// Returns false when not supported or the range is not addressable
+  /// (caller falls back to Read). Thread-safe like Read.
+  virtual bool ReadZeroCopy(uint64_t offset, size_t n, Slice* result) const {
+    (void)offset;
+    (void)n;
+    (void)result;
+    return false;
+  }
+
   /// Advises the OS that [offset, offset+n) will be read soon (readahead).
   /// Default is a no-op.
   virtual void ReadaheadHint(uint64_t offset, size_t n) const {

@@ -1,6 +1,7 @@
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/time.h>
 #include <sys/types.h>
@@ -9,6 +10,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "util/env.h"
 
@@ -60,7 +64,12 @@ class PosixRandomAccessFile final : public RandomAccessFile {
  public:
   PosixRandomAccessFile(std::string filename, int fd)
       : fd_(fd), filename_(std::move(filename)) {}
-  ~PosixRandomAccessFile() override { close(fd_); }
+  ~PosixRandomAccessFile() override {
+    for (const auto& m : mappings_) {
+      ::munmap(m.first, m.second);
+    }
+    close(fd_);
+  }
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
@@ -70,6 +79,28 @@ class PosixRandomAccessFile final : public RandomAccessFile {
       return PosixError(filename_, errno);
     }
     return Status::OK();
+  }
+
+  bool ReadZeroCopy(uint64_t offset, size_t n, Slice* result) const override {
+    std::lock_guard<std::mutex> l(map_mu_);
+    if (map_ == nullptr || offset + n > map_len_) {
+      // (Re)map lazily at the file's current size. An earlier, shorter
+      // mapping may still back live Slices, so it is retired — kept until
+      // the destructor — instead of munmapped here. Growth is rare (only
+      // a log that was still being appended when first mapped), so the
+      // retired list stays tiny.
+      struct stat st;
+      if (::fstat(fd_, &st) != 0) return false;
+      const uint64_t size = static_cast<uint64_t>(st.st_size);
+      if (offset + n > size || size == 0) return false;
+      void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd_, 0);
+      if (base == MAP_FAILED) return false;
+      mappings_.emplace_back(base, size);
+      map_ = static_cast<const char*>(base);
+      map_len_ = size;
+    }
+    *result = Slice(map_ + offset, n);
+    return true;
   }
 
   void ReadaheadHint(uint64_t offset, size_t n) const override {
@@ -85,6 +116,10 @@ class PosixRandomAccessFile final : public RandomAccessFile {
  private:
   const int fd_;
   const std::string filename_;
+  mutable std::mutex map_mu_;
+  mutable const char* map_ = nullptr;  // Current (longest) mapping.
+  mutable uint64_t map_len_ = 0;
+  mutable std::vector<std::pair<void*, size_t>> mappings_;  // All, for dtor.
 };
 
 constexpr size_t kWritableFileBufferSize = 65536;

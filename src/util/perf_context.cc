@@ -18,6 +18,8 @@ void ForEachField(Fn fn) {
   fn("gets", &PerfContext::gets);
   fn("writes", &PerfContext::writes);
   fn("scans", &PerfContext::scans);
+  fn("multigets", &PerfContext::multigets);
+  fn("multiget_keys", &PerfContext::multiget_keys);
   fn("memtable_hits", &PerfContext::memtable_hits);
   fn("hash_index_lookups", &PerfContext::hash_index_lookups);
   fn("hash_index_probes", &PerfContext::hash_index_probes);
@@ -35,12 +37,16 @@ void ForEachField(Fn fn) {
   fn("vlog_reads", &PerfContext::vlog_reads);
   fn("vlog_span_reads", &PerfContext::vlog_span_reads);
   fn("vlog_read_bytes", &PerfContext::vlog_read_bytes);
+  fn("vlog_mmap_reads", &PerfContext::vlog_mmap_reads);
+  fn("multiget_coalesced_reads", &PerfContext::multiget_coalesced_reads);
+  fn("multiget_io_bytes_saved", &PerfContext::multiget_io_bytes_saved);
   fn("get_micros", &PerfContext::get_micros);
   fn("write_micros", &PerfContext::write_micros);
   fn("write_wal_micros", &PerfContext::write_wal_micros);
   fn("write_memtable_micros", &PerfContext::write_memtable_micros);
   fn("write_stall_micros", &PerfContext::write_stall_micros);
   fn("scan_micros", &PerfContext::scan_micros);
+  fn("multiget_micros", &PerfContext::multiget_micros);
 }
 
 }  // namespace
@@ -51,6 +57,12 @@ PerfContext PerfContext::DeltaSince(const PerfContext& before) const {
     d.*field = this->*field - before.*field;
   });
   return d;
+}
+
+void PerfContext::Add(const PerfContext& other) {
+  ForEachField([&](const char* /*name*/, uint64_t PerfContext::*field) {
+    this->*field += other.*field;
+  });
 }
 
 std::string PerfContext::ToString(bool include_zeros) const {

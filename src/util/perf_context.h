@@ -25,6 +25,8 @@ struct PerfContext {
   uint64_t gets = 0;
   uint64_t writes = 0;
   uint64_t scans = 0;
+  uint64_t multigets = 0;        // MultiGet batches.
+  uint64_t multiget_keys = 0;    // Keys across those batches.
 
   // Read-path breakdown.
   uint64_t memtable_hits = 0;
@@ -44,6 +46,12 @@ struct PerfContext {
   uint64_t vlog_reads = 0;            // Point fetches from value logs.
   uint64_t vlog_span_reads = 0;       // Coalesced span reads (scans).
   uint64_t vlog_read_bytes = 0;
+  uint64_t vlog_mmap_reads = 0;       // Span reads served zero-copy (mmap).
+  // MultiGet value-log coalescing: spans that served >= 2 pointers, and
+  // the record bytes those merged members would have re-read as separate
+  // point preads (both counted on the batch's calling thread).
+  uint64_t multiget_coalesced_reads = 0;
+  uint64_t multiget_io_bytes_saved = 0;
 
   // Timers (microseconds), accumulated via StopwatchGuard. Per-point-get
   // timing is sampled (1 in ~32 gets take the clock), so get_micros is an
@@ -54,6 +62,7 @@ struct PerfContext {
   uint64_t write_memtable_micros = 0;
   uint64_t write_stall_micros = 0;
   uint64_t scan_micros = 0;
+  uint64_t multiget_micros = 0;  // Exact (timed per batch, not sampled).
 
   // Generation counter: bumped by Reset() instead of being zeroed, so code
   // holding an older snapshot of this context can tell that a Reset()
@@ -70,6 +79,10 @@ struct PerfContext {
   /// Field-wise `*this - before`; both must come from the same thread's
   /// context (or copies of it).
   PerfContext DeltaSince(const PerfContext& before) const;
+
+  /// Field-wise `*this += other` (tracing fields only; `resets` is left
+  /// alone). For folding per-slice deltas into a phase total.
+  void Add(const PerfContext& other);
 
   /// Space-separated `name=value` pairs; zero fields are skipped unless
   /// `include_zeros`.

@@ -117,25 +117,52 @@ Status ValueLogCache::Get(const ValuePointer& ptr, std::string* value,
 
 Status ValueLogCache::GetSpan(uint64_t log_number, uint64_t offset,
                               size_t size, std::string* buffer) {
+  std::shared_ptr<RandomAccessFile> file;
+  Status s = PinLog(log_number, &file);
+  if (!s.ok()) return s;
+  return GetSpanPinned(file.get(), offset, size, buffer);
+}
+
+Status ValueLogCache::PinLog(uint64_t log_number,
+                             std::shared_ptr<RandomAccessFile>* file) {
+  ValuePointer ptr;
+  ptr.log_number = log_number;
+  return GetFile(ptr, file);
+}
+
+Status ValueLogCache::GetSpanPinned(RandomAccessFile* file, uint64_t offset,
+                                    size_t size, std::string* buffer) {
+  buffer->resize(size);
+  Slice result;
+  Status s = GetSpanPinned(file, offset, size, &result, buffer->data());
+  if (!s.ok()) return s;
+  if (result.data() != buffer->data()) {
+    buffer->assign(result.data(), result.size());
+  }
+  return Status::OK();
+}
+
+Status ValueLogCache::GetSpanPinned(RandomAccessFile* file, uint64_t offset,
+                                    size_t size, Slice* result,
+                                    char* scratch) {
   PerfContext* perf = GetPerfContext();
   perf->vlog_span_reads++;
   perf->vlog_read_bytes += size;
   if (span_reads_counter_ != nullptr) span_reads_counter_->Inc();
   if (read_bytes_counter_ != nullptr) read_bytes_counter_->Add(size);
-  ValuePointer ptr;
-  ptr.log_number = log_number;
-  std::shared_ptr<RandomAccessFile> file;
-  Status s = GetFile(ptr, &file);
-  if (!s.ok()) return s;
-  buffer->resize(size);
-  Slice result;
-  s = file->Read(offset, size, &result, buffer->data());
-  if (!s.ok()) return s;
-  if (result.size() != size) {
-    return Status::Corruption("short value log span read");
+  // Batched span fetches prefer the file's mapping when one is available:
+  // no syscall, and the gap bytes a coalesced span covers are never
+  // copied — members are sliced straight out of the page cache. The
+  // pointed-at bytes stay valid while the caller's log pin is held.
+  if (file->ReadZeroCopy(offset, size, result)) {
+    perf->vlog_mmap_reads++;
+    if (mmap_reads_counter_ != nullptr) mmap_reads_counter_->Inc();
+    return Status::OK();
   }
-  if (result.data() != buffer->data()) {
-    buffer->assign(result.data(), result.size());
+  Status s = file->Read(offset, size, result, scratch);
+  if (!s.ok()) return s;
+  if (result->size() != size) {
+    return Status::Corruption("short value log span read");
   }
   return Status::OK();
 }

@@ -79,10 +79,12 @@ class ValueLogCache {
   /// Unlike the thread-local PerfContext — which only sees the calling
   /// thread — these capture fetches issued from thread-pool workers during
   /// scans and GC. All three may be null (counting disabled).
-  void SetCounters(Counter* reads, Counter* span_reads, Counter* read_bytes) {
+  void SetCounters(Counter* reads, Counter* span_reads, Counter* read_bytes,
+                   Counter* mmap_reads = nullptr) {
     reads_counter_ = reads;
     span_reads_counter_ = span_reads;
     read_bytes_counter_ = read_bytes;
+    mmap_reads_counter_ = mmap_reads;
   }
 
   /// Fetches the record at *ptr, verifies it, and stores the value bytes
@@ -100,6 +102,25 @@ class ValueLogCache {
   Status GetSpan(uint64_t log_number, uint64_t offset, size_t size,
                  std::string* buffer);
 
+  /// Pins the shared read handle of one log (opening the file if needed)
+  /// so a batched caller can issue several span reads against it without
+  /// re-taking the cache mutex per read. The handle stays valid even if
+  /// the log is Evicted while pinned.
+  Status PinLog(uint64_t log_number,
+                std::shared_ptr<RandomAccessFile>* file);
+
+  /// GetSpan against a handle previously pinned with PinLog (same
+  /// counting and short-read checks, no cache-mutex acquisition).
+  Status GetSpanPinned(RandomAccessFile* file, uint64_t offset, size_t size,
+                       std::string* buffer);
+
+  /// Zero-copy-friendly variant: reads into caller-owned `scratch` (which
+  /// must hold `size` bytes) and points *result at the bytes — either
+  /// scratch or the file's own mapping. Avoids std::string's zero-fill on
+  /// hot batched-read paths that reuse one scratch buffer across spans.
+  Status GetSpanPinned(RandomAccessFile* file, uint64_t offset, size_t size,
+                       Slice* result, char* scratch);
+
   /// Drops the cached handle for a deleted log file.
   void Evict(uint32_t partition, uint64_t log_number);
 
@@ -111,6 +132,7 @@ class ValueLogCache {
   std::string dbname_;
   Counter* reads_counter_ = nullptr;
   Counter* span_reads_counter_ = nullptr;
+  Counter* mmap_reads_counter_ = nullptr;
   Counter* read_bytes_counter_ = nullptr;
   std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<RandomAccessFile>> files_;

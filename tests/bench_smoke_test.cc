@@ -165,6 +165,74 @@ TEST(BenchSmokeTest, ConcurrentWriteSchemaV2Holds) {
   EXPECT_GT(NumAfter(json, "\"phase\":\"conc_t4\"", "ops_per_sec"), 0.0);
 }
 
+// Schema v3 additions, exercised through the MultiGet driver used by
+// bench_read: phases[] entries carry "batch" (0 for non-batched phases,
+// the batch size for MultiGet phases, whose ops count keys), and the
+// embedded engine metrics carry the batched-read histograms/counters.
+TEST(BenchSmokeTest, MultiGetSchemaV3Holds) {
+  const std::string root = test::NewTestDir("bench_smoke_mget");
+  Options opt;
+  opt.write_buffer_size = 64 * 1024;
+  opt.unsorted_limit = 256 * 1024;
+  opt.sorted_table_size = 64 * 1024;
+  BenchDb bdb(Engine::kUniKV, opt, root);
+
+  std::vector<PhaseResult> phases;
+  LoadSpec load;
+  load.num_keys = 2000;
+  load.value_size = 256;  // > separation threshold: values go to the logs.
+  phases.push_back(RunLoad(&bdb, load));
+
+  PointReadSpec get;
+  get.phase = "get_zipfian";
+  get.num_ops = 1000;
+  get.key_space = load.num_keys;
+  get.dist = Distribution::kZipfian;
+  get.value_size = 256;
+  phases.push_back(RunPointReads(&bdb, get));
+
+  MultiGetSpec mget;
+  mget.phase = "mget_zipfian_b64";
+  mget.num_keys = 2000;
+  mget.batch = 64;
+  mget.key_space = load.num_keys;
+  mget.dist = Distribution::kZipfian;
+  phases.push_back(RunMultiGet(&bdb, mget));
+
+  const std::string out_dir = test::NewTestDir("bench_smoke_mget_out");
+  const std::string path =
+      WriteBenchTrajectory("smoke_mget", &bdb, phases, out_dir);
+  std::string json = ReadWholeFile(path);
+  ASSERT_FALSE(json.empty());
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+
+  EXPECT_EQ(static_cast<int>(NumAfter(json, "", "schema_version")),
+            kBenchJsonSchemaVersion);
+  EXPECT_EQ(static_cast<int>(
+                NumAfter(json, "\"phase\":\"get_zipfian\"", "batch")),
+            0);
+  EXPECT_EQ(static_cast<int>(
+                NumAfter(json, "\"phase\":\"mget_zipfian_b64\"", "batch")),
+            64);
+  // MultiGet phase ops count keys (rounded up to whole batches).
+  EXPECT_GE(NumAfter(json, "\"phase\":\"mget_zipfian_b64\"", "ops"), 2000.0);
+  EXPECT_GT(NumAfter(json, "\"phase\":\"mget_zipfian_b64\"", "kops_per_sec"),
+            0.0);
+
+  // Batched-read metrics surface in the embedded engine metrics; zipfian
+  // batches over log-resident values always share spans, so the
+  // coalescing counters must be non-zero.
+  EXPECT_NE(json.find("\"multiget_latency_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"multiget_keys_per_batch\":"), std::string::npos);
+  EXPECT_GT(NumAfter(json, "\"engine_metrics\":", "multigets"), 0.0);
+  EXPECT_GT(
+      NumAfter(json, "\"engine_metrics\":", "multiget_coalesced_reads"),
+      0.0);
+  EXPECT_GT(
+      NumAfter(json, "\"engine_metrics\":", "multiget_io_bytes_saved"),
+      0.0);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace unikv

@@ -358,6 +358,63 @@ TEST_F(DbMetricsTest, StatsSamplerProducesHistoryAndEvents) {
   db_.reset();
 }
 
+TEST_F(DbMetricsTest, MultiGetReusesTableHandlesWithinBatch) {
+  // Regression for table-cache handle churn: the looped-Get path does one
+  // cache Lookup/Release round-trip per key, so 64 gets cost >= 64 cache
+  // lookups even when every key lives in the same table. MultiGet pins
+  // each table handle once per batch (TableCache::BatchPin), so the same
+  // 64 keys must cost only one lookup per distinct table.
+  OpenDb(SmallOptions(), "_mget");
+  LoadBothStores();
+
+  // Keys 100..163 were loaded before CompactAll, so they live only in the
+  // SortedStore: no unsorted candidates, exactly one table probe per key.
+  std::vector<std::string> key_bufs;
+  for (int i = 100; i < 164; i++) key_bufs.push_back(test::TestKey(i));
+  std::vector<Slice> keys(key_bufs.begin(), key_bufs.end());
+
+  PerfContext* perf = GetPerfContext();
+  perf->Reset();
+  std::string value;
+  for (const Slice& k : keys) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), k, &value).ok());
+  }
+  const uint64_t get_lookups = perf->table_cache_hits + perf->table_cache_misses;
+  EXPECT_GE(get_lookups, keys.size()) << "one cache lookup per looped Get";
+
+  PerfContext before = *perf;
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_TRUE(db_->MultiGet(ReadOptions(), keys, &values, &statuses).ok());
+  PerfContext d = perf->DeltaSince(before);
+  const uint64_t mget_lookups = d.table_cache_hits + d.table_cache_misses;
+  // 64 adjacent keys span at most a handful of sorted tables; the batch
+  // must do one lookup per table, not per key.
+  EXPECT_LT(mget_lookups * 4, get_lookups)
+      << "BatchPin no longer suppresses per-key cache churn";
+  EXPECT_EQ(d.multigets, 1u);
+  EXPECT_EQ(d.multiget_keys, keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(statuses[i].ok());
+    EXPECT_EQ(values[i], test::TestValue(static_cast<uint64_t>(i) + 100, 256));
+  }
+
+  // The batched-read metrics surface in both metrics properties; adjacent
+  // log-resident values coalesce, so the span counters are non-zero.
+  std::string json;
+  ASSERT_TRUE(db_->GetProperty("db.metrics.json", &json));
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"multigets\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"multiget_latency_us\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"multiget_keys_per_batch\":"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"multigets\":0,"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"multiget_coalesced_reads\":0,"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"multiget_io_bytes_saved\":0,"), std::string::npos)
+      << json;
+}
+
 TEST_F(DbMetricsTest, HeatAndAmpGaugesInMetricsJson) {
   OpenDb(SmallOptions(), "_heat");
   LoadBothStores();
