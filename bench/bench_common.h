@@ -33,7 +33,7 @@ inline Options BenchOptions() {
   opt.partition_size_limit = 24 * 1024 * 1024;
   opt.sorted_table_size = 1 * 1024 * 1024;
   opt.gc_garbage_threshold = 6 * 1024 * 1024;
-  opt.scan_merge_limit = 8;
+  opt.scan_merge_limit = 16;
   opt.block_cache_size = 8 * 1024 * 1024;
   opt.max_bytes_for_level_base = 8 * 1024 * 1024;
   opt.l0_compaction_trigger = 4;

@@ -73,6 +73,91 @@ void RunYcsbTrajectory(const std::string& root) {
   WriteBenchTrajectory("ycsb", &bdb, phases);
 }
 
+// Scan trajectory: the same random fill scanned twice — once with the
+// sorted anchor view disabled (every scan pays a k-way heap merge over
+// the overlapping unsorted tables) and once with it enabled (one
+// anchor-guided child per partition, DESIGN.md §12). The options stack
+// many overlapping tables and suppress merges/scan-merges so both phase
+// sets run against an identical >= 8-table UnsortedStore; the view-on
+// store reopens the view-off store's files, so the bytes scanned are the
+// same down to the block.
+void RunScanTrajectory(const std::string& root) {
+  const uint64_t keys = Scaled(8000);
+  Options opt = BenchOptions();
+  opt.write_buffer_size = 128 * 1024;
+  opt.unsorted_limit = 256 * 1024 * 1024;       // Never merge.
+  opt.partition_size_limit = 512 * 1024 * 1024;  // Never split.
+  opt.scan_merge_limit = 100000;                 // Never scan-merge.
+
+  std::vector<PhaseResult> phases;
+
+  opt.enable_anchor_view = false;
+  {
+    BenchDb off(Engine::kUniKV, opt, root);
+    LoadSpec load;
+    load.num_keys = keys;
+    load.value_size = 512;
+    phases.push_back(RunLoad(&off, load));
+
+    // RunLoad settles with CompactAll, draining the UnsortedStore.
+    // Overwrite every key in shuffled order with periodic flushes so the
+    // scans run over a stack of overlapping unsorted tables (~16 with
+    // the default scale) — the store state scan-merge used to be needed
+    // for. The view-on scope below reopens these exact files.
+    for (uint64_t i = 0; i < keys; i++) {
+      uint64_t id = (i * 977) % keys;
+      Status s = off.db()->Put(WriteOptions(), KeyGenerator::Key(id),
+                               MakeValue(id, 512));
+      if (!s.ok()) {
+        std::fprintf(stderr, "refill failed: %s\n", s.ToString().c_str());
+        std::abort();
+      }
+      if (i % 500 == 499) off.db()->FlushMemTable();
+    }
+
+    ScanSpec scan;
+    scan.key_space = keys;
+    scan.phase = "scan_short_flat";
+    scan.scan_len = 20;
+    scan.num_ops = Scaled(300);
+    phases.push_back(RunScans(&off, scan));
+    scan.phase = "scan_long_flat";
+    scan.scan_len = 200;
+    scan.num_ops = Scaled(100);
+    phases.push_back(RunScans(&off, scan));
+  }
+
+  // Reopen the same store with the view on; recovery rebuilds the
+  // per-partition views from the tables.
+  opt.enable_anchor_view = true;
+  BenchDb on(Engine::kUniKV, opt, root, /*keep_existing=*/true);
+  ScanSpec scan;
+  scan.key_space = keys;
+  scan.phase = "scan_short_view";
+  scan.scan_len = 20;
+  scan.num_ops = Scaled(300);
+  phases.push_back(RunScans(&on, scan));
+  scan.phase = "scan_long_view";
+  scan.scan_len = 200;
+  scan.num_ops = Scaled(100);
+  phases.push_back(RunScans(&on, scan));
+
+  double flat_short = 0, flat_long = 0, view_short = 0, view_long = 0;
+  for (const PhaseResult& r : phases) {
+    std::printf("[scan/%s] %.1f kops/s over %llu ops\n", r.phase.c_str(),
+                r.kops_per_sec, static_cast<unsigned long long>(r.ops));
+    if (r.phase == "scan_short_flat") flat_short = r.kops_per_sec;
+    if (r.phase == "scan_long_flat") flat_long = r.kops_per_sec;
+    if (r.phase == "scan_short_view") view_short = r.kops_per_sec;
+    if (r.phase == "scan_long_view") view_long = r.kops_per_sec;
+  }
+  if (flat_short > 0 && flat_long > 0) {
+    std::printf("[scan] anchor-view speedup: short=%.2fx long=%.2fx\n",
+                view_short / flat_short, view_long / flat_long);
+  }
+  WriteBenchTrajectory("scan", &on, phases);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace unikv
@@ -81,5 +166,6 @@ int main() {
   using namespace unikv::bench;
   RunMixedTrajectory(BenchRoot("trajectory_mixed"));
   RunYcsbTrajectory(BenchRoot("trajectory_ycsb"));
+  RunScanTrajectory(BenchRoot("trajectory_scan"));
   return 0;
 }

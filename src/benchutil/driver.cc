@@ -293,7 +293,7 @@ std::vector<PhaseResult> RunInterleavedBatchedReads(
 
 PhaseResult RunScans(BenchDb* bdb, const ScanSpec& spec) {
   PhaseResult r;
-  r.phase = "scan";
+  r.phase = spec.phase;
   PhaseTimer timer(bdb, &r);
   Env* env = Env::Default();
   Random rnd(spec.seed);
@@ -605,6 +605,8 @@ std::string BenchTrajectoryJson(const std::string& workload, BenchDb* bdb,
   params.AddInt("value_fetch_threads", opt.value_fetch_threads);
   params.AddInt("background_threads", opt.background_threads);
   params.AddInt("write_shards", opt.write_shards);
+  params.AddInt("scan_merge_limit", opt.scan_merge_limit);
+  params.AddBool("enable_anchor_view", opt.enable_anchor_view);
   root.AddRaw("params", params.Finish());
 
   std::string phase_array = "[";

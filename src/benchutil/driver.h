@@ -123,6 +123,7 @@ std::vector<PhaseResult> RunInterleavedBatchedReads(
     const std::vector<MultiGetSpec>& mget_specs, int rounds = 5);
 
 struct ScanSpec {
+  std::string phase = "scan";  // Phase label in tables and BENCH JSON.
   uint64_t num_ops = 500;
   int scan_len = 100;
   uint64_t key_space = 100000;
@@ -201,7 +202,9 @@ std::string DumpMetricsJson(BenchDb* bdb);
 /// phase), params carries "write_shards".
 /// v3: phases[] entries carry "batch" (MultiGet batch size; 0 for
 /// non-batched phases, whose ops are single keys).
-constexpr int kBenchJsonSchemaVersion = 3;
+/// v4: params carries "scan_merge_limit" and "enable_anchor_view" (the
+/// sorted anchor view over the UnsortedStore, DESIGN.md §12).
+constexpr int kBenchJsonSchemaVersion = 4;
 
 /// Renders the BENCH JSON document for one workload run: schema_version,
 /// workload name, engine, environment (cores, build type, sanitizer,

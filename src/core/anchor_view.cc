@@ -1,0 +1,522 @@
+#include "core/anchor_view.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/table_cache.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "table/table.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/env.h"
+
+namespace unikv {
+
+namespace {
+
+// <number>.anchors layout:
+//   fixed32 magic  fixed32 format_version  varint32 pid
+//   varint32 covered_count
+//     per covered table: varint64 number  varint64 size  varint32 table_id
+//   varint64 entry_count
+//   varint64 block_len  block image bytes
+//   fixed32 masked crc32c over everything above
+constexpr uint32_t kAnchorMagic = 0x414e4348;  // "ANCH"
+constexpr uint32_t kAnchorFormatVersion = 1;
+constexpr int kAnchorRestartInterval = 16;
+
+struct Anchor {
+  uint32_t ordinal = 0;
+  uint64_t block_offset = 0;
+  uint32_t restart_index = 0;
+};
+
+void EncodeAnchor(std::string* dst, const Anchor& a) {
+  PutVarint32(dst, a.ordinal);
+  PutVarint64(dst, a.block_offset);
+  PutVarint32(dst, a.restart_index);
+}
+
+bool DecodeAnchor(Slice value, Anchor* a) {
+  return GetVarint32(&value, &a->ordinal) &&
+         GetVarint64(&value, &a->block_offset) &&
+         GetVarint32(&value, &a->restart_index);
+}
+
+/// One sorted stream of (internal key, anchor) pairs feeding the merge.
+class AnchorSource {
+ public:
+  virtual ~AnchorSource() = default;
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+  virtual Slice key() const = 0;
+  virtual Anchor anchor() const = 0;
+  virtual Status status() const = 0;
+};
+
+/// Walks one table block by block (via its index block), so every entry
+/// comes with the file offset of its data block and a restart slot hint.
+class TableSource : public AnchorSource {
+ public:
+  TableSource(TableCache* cache, const FileMeta& meta, uint32_t ordinal,
+              int restart_interval)
+      : ordinal_(ordinal),
+        restart_interval_(restart_interval < 1 ? 1 : restart_interval) {
+    const Table* table = nullptr;
+    // The iterator is kept solely as the table-cache pin for `table`.
+    pin_.reset(cache->NewIterator(meta.number, meta.size, &table,
+                                  false /*fill_cache*/));
+    if (table == nullptr) {
+      status_ = pin_->status();
+      if (status_.ok()) status_ = Status::Corruption("table open failed");
+      return;
+    }
+    table_ = table;
+    index_iter_.reset(table_->NewIndexIterator());
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+  }
+
+  bool Valid() const override {
+    return status_.ok() && data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    entry_index_++;
+    while (data_iter_ != nullptr && !data_iter_->Valid() && status_.ok()) {
+      if (!data_iter_->status().ok()) {
+        status_ = data_iter_->status();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+    }
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+
+  Anchor anchor() const override {
+    Anchor a;
+    a.ordinal = ordinal_;
+    a.block_offset = block_offset_;
+    a.restart_index =
+        static_cast<uint32_t>(entry_index_ / restart_interval_);
+    return a;
+  }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (index_iter_ != nullptr && !index_iter_->status().ok()) {
+      return index_iter_->status();
+    }
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  void InitDataBlock() {
+    data_iter_.reset();
+    entry_index_ = 0;
+    while (index_iter_->Valid()) {
+      BlockHandle handle;
+      Slice input = index_iter_->value();
+      Status s = handle.DecodeFrom(&input);
+      if (!s.ok()) {
+        status_ = s;
+        return;
+      }
+      block_offset_ = handle.offset();
+      data_iter_.reset(table_->NewBlockIterator(handle, false /*fill_cache*/));
+      data_iter_->SeekToFirst();
+      if (data_iter_->Valid()) return;
+      if (!data_iter_->status().ok()) {
+        status_ = data_iter_->status();
+        return;
+      }
+      index_iter_->Next();  // Empty data block; keep walking.
+    }
+    data_iter_.reset();
+  }
+
+  const uint32_t ordinal_;
+  const int restart_interval_;
+  const Table* table_ = nullptr;
+  std::unique_ptr<Iterator> pin_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<Iterator> data_iter_;
+  uint64_t block_offset_ = 0;
+  uint64_t entry_index_ = 0;
+  Status status_;
+};
+
+/// Streams an existing view's entries, remapping nothing: ordinals stay
+/// valid because flush installs only append to the covered list.
+class ViewSource : public AnchorSource {
+ public:
+  ViewSource(const InternalKeyComparator& icmp, const AnchorView& base) {
+    iter_.reset(base.block->NewIterator(icmp));
+    iter_->SeekToFirst();
+  }
+
+  bool Valid() const override { return status_.ok() && iter_->Valid(); }
+  void Next() override { iter_->Next(); }
+  Slice key() const override { return iter_->key(); }
+
+  Anchor anchor() const override {
+    Anchor a;
+    if (!DecodeAnchor(iter_->value(), &a)) {
+      status_ = Status::Corruption("bad anchor payload");
+    }
+    return a;
+  }
+
+  Status status() const override {
+    return status_.ok() ? iter_->status() : status_;
+  }
+
+ private:
+  std::unique_ptr<Iterator> iter_;
+  mutable Status status_;
+};
+
+/// K-way merge of sorted sources into a finished view block. Ties
+/// (identical internal keys, e.g. a recovery re-flush landing the same
+/// record in two tables) keep the earliest source's entry and drop the
+/// others — they are byte-identical copies of the same logical write, and
+/// dropping them keeps every surviving entry's cursor alignable by key.
+Status MergeSources(const InternalKeyComparator& icmp,
+                    std::vector<std::unique_ptr<AnchorSource>>* sources,
+                    AnchorView* out) {
+  BlockBuilder builder(kAnchorRestartInterval);
+  std::string payload;
+  uint64_t entries = 0;
+
+  for (;;) {
+    int min_idx = -1;
+    for (size_t i = 0; i < sources->size(); i++) {
+      AnchorSource* s = (*sources)[i].get();
+      if (!s->Valid()) continue;
+      if (min_idx < 0 ||
+          icmp.Compare(s->key(), (*sources)[min_idx]->key()) < 0) {
+        min_idx = static_cast<int>(i);
+      }
+    }
+    if (min_idx < 0) break;
+
+    AnchorSource* min_src = (*sources)[min_idx].get();
+    payload.clear();
+    EncodeAnchor(&payload, min_src->anchor());
+    builder.Add(min_src->key(), Slice(payload));
+    entries++;
+
+    // Advance duplicates before the winner (their keys compare against
+    // the winner's still-valid slice).
+    for (size_t i = 0; i < sources->size(); i++) {
+      if (static_cast<int>(i) == min_idx) continue;
+      AnchorSource* s = (*sources)[i].get();
+      if (s->Valid() && icmp.Compare(s->key(), min_src->key()) == 0) {
+        s->Next();
+      }
+    }
+    min_src->Next();
+  }
+
+  for (const auto& s : *sources) {
+    if (!s->status().ok()) return s->status();
+  }
+
+  Slice image = builder.Finish();
+  auto owned = std::make_shared<const std::string>(image.data(), image.size());
+  BlockContents contents;
+  contents.data = Slice(owned->data(), owned->size());
+  contents.cachable = false;
+  contents.heap_allocated = false;
+  out->image = owned;
+  out->block = std::make_shared<Block>(contents);
+  out->entry_count = entries;
+  out->byte_size = owned->size();
+  out->file_number = 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+bool AnchorView::Covers(const std::vector<FileMeta>& unsorted) const {
+  if (covered.size() != unsorted.size()) return false;
+  for (size_t i = 0; i < covered.size(); i++) {
+    if (covered[i].number != unsorted[i].number) return false;
+  }
+  return true;
+}
+
+Status BuildAnchorView(const InternalKeyComparator& icmp, TableCache* cache,
+                       const std::vector<FileMeta>& tables,
+                       int restart_interval, AnchorView* out) {
+  *out = AnchorView();
+  std::vector<std::unique_ptr<AnchorSource>> sources;
+  for (size_t i = 0; i < tables.size(); i++) {
+    out->covered.push_back(
+        {tables[i].number, tables[i].size, tables[i].table_id});
+    sources.push_back(std::make_unique<TableSource>(
+        cache, tables[i], static_cast<uint32_t>(i), restart_interval));
+  }
+  return MergeSources(icmp, &sources, out);
+}
+
+Status MergeAnchorView(const InternalKeyComparator& icmp, TableCache* cache,
+                       const AnchorView& base, const FileMeta& added,
+                       int restart_interval, AnchorView* out) {
+  AnchorView result;
+  result.covered = base.covered;
+  result.covered.push_back({added.number, added.size, added.table_id});
+  std::vector<std::unique_ptr<AnchorSource>> sources;
+  sources.push_back(std::make_unique<ViewSource>(icmp, base));
+  sources.push_back(std::make_unique<TableSource>(
+      cache, added, static_cast<uint32_t>(base.covered.size()),
+      restart_interval));
+  Status s = MergeSources(icmp, &sources, &result);
+  if (!s.ok()) return s;
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status WriteAnchorViewFile(Env* env, const std::string& fname, uint32_t pid,
+                           const AnchorView& view) {
+  std::string buf;
+  PutFixed32(&buf, kAnchorMagic);
+  PutFixed32(&buf, kAnchorFormatVersion);
+  PutVarint32(&buf, pid);
+  PutVarint32(&buf, static_cast<uint32_t>(view.covered.size()));
+  for (const auto& t : view.covered) {
+    PutVarint64(&buf, t.number);
+    PutVarint64(&buf, t.size);
+    PutVarint32(&buf, t.table_id);
+  }
+  PutVarint64(&buf, view.entry_count);
+  PutVarint64(&buf, view.image->size());
+  buf.append(*view.image);
+  PutFixed32(&buf, crc32c::Mask(crc32c::Value(buf.data(), buf.size())));
+
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(buf);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  return s;
+}
+
+Status LoadAnchorViewFile(Env* env, const std::string& fname,
+                          uint32_t expected_pid, AnchorView* out) {
+  *out = AnchorView();
+  uint64_t size = 0;
+  Status s = env->GetFileSize(fname, &size);
+  if (!s.ok()) return s;
+  if (size < 12) return Status::Corruption("anchor view file too short");
+
+  std::unique_ptr<SequentialFile> file;
+  s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  std::string buf;
+  buf.resize(size);
+  Slice contents;
+  s = file->Read(size, &contents, buf.data());
+  if (!s.ok()) return s;
+  if (contents.size() != size) {
+    return Status::Corruption("anchor view short read");
+  }
+
+  const uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(contents.data() + size - 4));
+  if (crc32c::Value(contents.data(), size - 4) != stored_crc) {
+    return Status::Corruption("anchor view crc mismatch");
+  }
+
+  Slice input(contents.data(), size - 4);
+  if (input.size() < 8 || DecodeFixed32(input.data()) != kAnchorMagic ||
+      DecodeFixed32(input.data() + 4) != kAnchorFormatVersion) {
+    return Status::Corruption("bad anchor view header");
+  }
+  input.remove_prefix(8);
+
+  uint32_t pid = 0, covered_count = 0;
+  if (!GetVarint32(&input, &pid) || !GetVarint32(&input, &covered_count)) {
+    return Status::Corruption("bad anchor view header");
+  }
+  if (pid != expected_pid) {
+    return Status::Corruption("anchor view partition mismatch");
+  }
+  for (uint32_t i = 0; i < covered_count; i++) {
+    uint64_t number = 0, fsize = 0;
+    uint32_t table_id = 0;
+    if (!GetVarint64(&input, &number) || !GetVarint64(&input, &fsize) ||
+        !GetVarint32(&input, &table_id)) {
+      return Status::Corruption("bad anchor view covered list");
+    }
+    out->covered.push_back({number, fsize, static_cast<uint16_t>(table_id)});
+  }
+  uint64_t entry_count = 0, block_len = 0;
+  if (!GetVarint64(&input, &entry_count) ||
+      !GetVarint64(&input, &block_len) || input.size() != block_len) {
+    return Status::Corruption("bad anchor view block length");
+  }
+  auto image = std::make_shared<const std::string>(input.data(), input.size());
+  BlockContents bc;
+  bc.data = Slice(image->data(), image->size());
+  bc.cachable = false;
+  bc.heap_allocated = false;
+  out->image = image;
+  out->block = std::make_shared<Block>(bc);
+  out->entry_count = entry_count;
+  out->byte_size = image->size();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- iterator
+
+namespace {
+
+/// Internal-key iterator driven by the view block. key() always comes
+/// straight from the view; value() resolves through the owning table's
+/// cursor. Cursors open lazily (a scan over a narrow range touches only
+/// the tables that contribute entries in it) and advance in lockstep with
+/// the view; any cursor found misaligned is simply re-seeked to the
+/// current view key, and a re-seek that still disagrees means the view
+/// does not describe the table anymore — surfaced as Corruption.
+class AnchorViewIterator : public Iterator {
+ public:
+  AnchorViewIterator(const InternalKeyComparator& icmp, AnchorViewPtr view,
+                     TableCache* cache, bool fill_cache)
+      : icmp_(icmp),
+        view_(std::move(view)),
+        cache_(cache),
+        fill_cache_(fill_cache),
+        view_iter_(view_->block->NewIterator(icmp)),
+        cursors_(view_->covered.size()) {}
+
+  bool Valid() const override { return status_.ok() && view_iter_->Valid(); }
+
+  void Seek(const Slice& target) override { view_iter_->Seek(target); }
+  void SeekToFirst() override { view_iter_->SeekToFirst(); }
+  void SeekToLast() override { view_iter_->SeekToLast(); }
+
+  void Next() override {
+    assert(Valid());
+    StepAlignedCursor(+1);
+    view_iter_->Next();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    StepAlignedCursor(-1);
+    view_iter_->Prev();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return view_iter_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    Iterator* cursor = AlignedCursor();
+    if (cursor == nullptr) return Slice();
+    return cursor->value();
+  }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (!view_iter_->status().ok()) return view_iter_->status();
+    for (const auto& c : cursors_) {
+      if (c.iter != nullptr && !c.iter->status().ok()) {
+        return c.iter->status();
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Cursor {
+    std::unique_ptr<Iterator> iter;
+  };
+
+  bool CurrentAnchor(Anchor* a) const {
+    if (!DecodeAnchor(view_iter_->value(), a) ||
+        a->ordinal >= cursors_.size()) {
+      status_ = Status::Corruption("bad anchor payload");
+      return false;
+    }
+    return true;
+  }
+
+  /// If the current entry's cursor is open and sitting exactly on the
+  /// current view key, step it along with the view (the cheap lockstep
+  /// path). A closed or misaligned cursor is left alone — value() will
+  /// re-seek it if and when it is next needed.
+  void StepAlignedCursor(int dir) {
+    Anchor a;
+    if (!CurrentAnchor(&a)) return;
+    Iterator* iter = cursors_[a.ordinal].iter.get();
+    if (iter == nullptr || !iter->Valid()) return;
+    if (icmp_.Compare(iter->key(), view_iter_->key()) != 0) return;
+    if (dir > 0) {
+      iter->Next();
+    } else {
+      iter->Prev();
+    }
+  }
+
+  /// Returns the current entry's cursor positioned exactly on the current
+  /// view key, opening or re-seeking it as needed. nullptr (with status_
+  /// set) when the table disagrees with the view.
+  Iterator* AlignedCursor() const {
+    Anchor a;
+    if (!CurrentAnchor(&a)) return nullptr;
+    Cursor& c = cursors_[a.ordinal];
+    const Slice target = view_iter_->key();
+    if (c.iter == nullptr) {
+      const AnchorView::CoveredTable& t = view_->covered[a.ordinal];
+      c.iter.reset(cache_->NewIterator(t.number, t.size, nullptr,
+                                       fill_cache_));
+      c.iter->Seek(target);
+    } else if (!c.iter->Valid() ||
+               icmp_.Compare(c.iter->key(), target) != 0) {
+      c.iter->Seek(target);
+    }
+    if (!c.iter->Valid() || icmp_.Compare(c.iter->key(), target) != 0) {
+      if (status_.ok()) {
+        status_ = c.iter->status().ok()
+                      ? Status::Corruption("anchor view out of sync")
+                      : c.iter->status();
+      }
+      return nullptr;
+    }
+    return c.iter.get();
+  }
+
+  const InternalKeyComparator icmp_;
+  const AnchorViewPtr view_;
+  TableCache* const cache_;
+  const bool fill_cache_;
+  const std::unique_ptr<Iterator> view_iter_;
+  mutable std::vector<Cursor> cursors_;
+  mutable Status status_;
+};
+
+}  // namespace
+
+Iterator* NewAnchorViewIterator(const InternalKeyComparator& icmp,
+                                AnchorViewPtr view, TableCache* cache,
+                                bool fill_cache) {
+  return new AnchorViewIterator(icmp, std::move(view), cache, fill_cache);
+}
+
+}  // namespace unikv

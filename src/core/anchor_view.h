@@ -1,0 +1,108 @@
+#ifndef UNIKV_CORE_ANCHOR_VIEW_H_
+#define UNIKV_CORE_ANCHOR_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dbformat.h"
+#include "core/iterator.h"
+#include "core/version.h"
+#include "util/status.h"
+
+namespace unikv {
+
+class Block;
+class Env;
+class TableCache;
+
+/// A REMIX-style sorted view over one partition's UnsortedStore
+/// (DESIGN.md §12). The view is a single prefix-compressed block holding
+/// every internal key of the partition's unsorted tables in global sorted
+/// order; each entry's value is a compact anchor
+///
+///   varint32 ordinal        index into `covered` (which table owns it)
+///   varint64 block_offset   file offset of the data block holding it
+///   varint32 restart_index  restart slot of the entry within that block
+///
+/// Scans binary-search the view once (restart-array binary search, like
+/// any table block) and then stream forward or backward, advancing one
+/// per-table cursor in lockstep with the view instead of popping a k-way
+/// merge heap per Next(). block_offset/restart_index are advisory
+/// accelerators: the iterator always verifies cursor alignment by key, so
+/// correctness never depends on them.
+///
+/// Views are immutable. The UnsortedStore is bounded by
+/// Options::unsorted_limit, so a view's key material is a small fraction
+/// of that; flush installs extend it with a single merge pass and
+/// merge/scan-merge installs rebuild or retire it.
+struct AnchorView {
+  /// Descriptor of one unsorted table the view covers, in the partition's
+  /// table order (oldest first, table_id ascending).
+  struct CoveredTable {
+    uint64_t number = 0;
+    uint64_t size = 0;
+    uint16_t table_id = 0;
+  };
+
+  std::vector<CoveredTable> covered;
+  /// Raw block image (entries + restart trailer). Owns the bytes `block`
+  /// points into; declared first so it outlives `block` on destruction.
+  std::shared_ptr<const std::string> image;
+  /// Sorted (internal key -> anchor) entries, parsed over `image`.
+  std::shared_ptr<Block> block;
+  /// Backing <file_number>.anchors file; 0 when the view only lives in
+  /// memory (e.g. rebuilt during recovery and not yet re-persisted).
+  uint64_t file_number = 0;
+  uint64_t entry_count = 0;
+  /// Size of the block image in bytes (the view's memory footprint).
+  uint64_t byte_size = 0;
+
+  /// True iff the view covers exactly `unsorted` (same file numbers, same
+  /// order). Anything else is stale: scans must fall back to the merging
+  /// iterator.
+  bool Covers(const std::vector<FileMeta>& unsorted) const;
+};
+
+using AnchorViewPtr = std::shared_ptr<const AnchorView>;
+
+/// Builds a view from scratch by walking every table in `tables` (block
+/// by block, so anchors carry real block offsets) and merging the k
+/// streams. `restart_interval` is the data-block restart interval the
+/// tables were written with (used to derive restart_index hints).
+Status BuildAnchorView(const InternalKeyComparator& icmp, TableCache* cache,
+                       const std::vector<FileMeta>& tables,
+                       int restart_interval, AnchorView* out);
+
+/// Flush-install maintenance: merges `added` (the freshly flushed table,
+/// already internally sorted) into `base` in a single pass. `base` must
+/// cover the partition's unsorted tables as they were before the flush;
+/// the result covers them plus `added` (appended, preserving order).
+Status MergeAnchorView(const InternalKeyComparator& icmp, TableCache* cache,
+                       const AnchorView& base, const FileMeta& added,
+                       int restart_interval, AnchorView* out);
+
+/// Persists `view` to `fname` (<number>.anchors layout: magic, version,
+/// pid, covered tables, entry count, block image, crc32c trailer).
+Status WriteAnchorViewFile(Env* env, const std::string& fname, uint32_t pid,
+                           const AnchorView& view);
+
+/// Loads a persisted view. Fails (Corruption) on any structural or crc
+/// mismatch, or when the file was written for a different partition;
+/// callers fall back to BuildAnchorView.
+Status LoadAnchorViewFile(Env* env, const std::string& fname,
+                          uint32_t expected_pid, AnchorView* out);
+
+/// Returns an internal-key iterator over the view: yields every entry of
+/// the covered tables in global sorted order, resolving values through
+/// one lazily opened cursor per table. Seek/Next/Prev/SeekToFirst/
+/// SeekToLast all work; Next()/Prev() cost one view-block step plus one
+/// cursor step (no heap). The iterator shares ownership of `view`.
+Iterator* NewAnchorViewIterator(const InternalKeyComparator& icmp,
+                                AnchorViewPtr view, TableCache* cache,
+                                bool fill_cache);
+
+}  // namespace unikv
+
+#endif  // UNIKV_CORE_ANCHOR_VIEW_H_

@@ -483,6 +483,30 @@ Status UniKVDB::CompactMemTable(size_t shard_idx) {
     }
   }
 
+  // Maintain each affected partition's anchor view: when the existing
+  // view covers the pre-flush tables, one merge pass folds the new table
+  // in; otherwise rebuild from the post-flush set (DESIGN.md §12). Apply
+  // appends added files after the survivors, so the post-install order is
+  // exactly current unsorted + new meta.
+  {
+    VersionPtr cur = versions_->current();
+    for (const FlushOutput& out : outputs) {
+      auto cp = cur->FindById(out.pid);
+      std::vector<FileMeta> post;
+      if (cp != nullptr) post = cp->unsorted;
+      post.push_back(out.meta);
+      const AnchorView* base_view = nullptr;
+      auto it = anchor_views_.find(out.pid);
+      if (it != anchor_views_.end() && cp != nullptr &&
+          it->second->Covers(cp->unsorted)) {
+        base_view = it->second.get();
+      }
+      MaintainAnchorViewLocked(out.pid, post, base_view,
+                               base_view != nullptr ? &out.meta : nullptr,
+                               &edit);
+    }
+  }
+
   // Periodic hash-index checkpointing (paper: every UnsortedLimit/2 of
   // flushed tables).
   std::vector<uint64_t> checkpoint_numbers;
@@ -827,6 +851,10 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     }
   }
 
+  // The consumed tables' anchor view dies with the epoch; survivors get a
+  // fresh view (or none, if fewer than two remain).
+  MaintainAnchorViewLocked(pid, survivors, nullptr, nullptr, &edit);
+
   s = versions_->LogAndApply(&edit);
   for (const Output& out : outputs) pending_outputs_.erase(out.meta.number);
   if (separate) pending_outputs_.erase(vlog_number);
@@ -970,6 +998,14 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
       pending_outputs_.erase(number);
       return s;
     }
+  }
+
+  // Post-install unsorted set: survivors (in current order) followed by
+  // the consolidated table (Apply appends adds, then erases removals).
+  {
+    std::vector<FileMeta> post = survivors;
+    post.push_back(meta);
+    MaintainAnchorViewLocked(pid, post, nullptr, nullptr, &edit);
   }
 
   s = versions_->LogAndApply(&edit);
@@ -1321,6 +1357,11 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
     edit.AddValueLog(npid, v);
   }
 
+  // Split preconditions guarantee no unsorted tables, hence no view on
+  // either side; drop any stale entry defensively.
+  InstallAnchorViewLocked(p->id, nullptr);
+  InstallAnchorViewLocked(npid, nullptr);
+
   Status s = versions_->LogAndApply(&edit);
   if (s.ok()) {
     indexes_[npid] = std::make_shared<HashIndex>(IndexExpectedEntries(),
@@ -1388,6 +1429,7 @@ void UniKVDB::RemoveObsoleteFiles() {
       case FileType::kTableFile:
       case FileType::kValueLogFile:
       case FileType::kIndexCheckpoint:
+      case FileType::kAnchorsFile:
         keep = live.count(number) > 0;
         break;
       case FileType::kTempFile:

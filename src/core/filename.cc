@@ -33,6 +33,10 @@ std::string IndexCheckpointFileName(const std::string& dbname,
   return MakeFileName(dbname, number, "hidx");
 }
 
+std::string AnchorViewFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "anchors");
+}
+
 std::string ManifestFileName(const std::string& dbname, uint64_t number) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
@@ -92,6 +96,8 @@ bool ParseFileName(const std::string& filename, uint64_t* number,
     *type = FileType::kValueLogFile;
   } else if (suffix == "hidx") {
     *type = FileType::kIndexCheckpoint;
+  } else if (suffix == "anchors") {
+    *type = FileType::kAnchorsFile;
   } else if (suffix == "tmp") {
     *type = FileType::kTempFile;
   } else {

@@ -42,8 +42,11 @@ struct Options {
   size_t partition_size_limit = 256 * 1024 * 1024;
 
   /// Number of UnsortedStore tables that triggers the size-based merge
-  /// scan optimization (paper: scanMergeLimit).
-  int scan_merge_limit = 8;
+  /// scan optimization (paper: scanMergeLimit). With the sorted anchor
+  /// view (enable_anchor_view) scans no longer pay a per-Next() merge-heap
+  /// pop per overlapping table, so the default is raised from 8 to 16:
+  /// fewer consolidation rewrites, less background write traffic.
+  int scan_merge_limit = 16;
 
   /// Stale value-log bytes in a partition that trigger GC.
   size_t gc_garbage_threshold = 16 * 1024 * 1024;
@@ -156,6 +159,11 @@ struct Options {
   bool enable_partitioning = true;
   /// Off: no size-based merge, no readahead, no parallel value fetch.
   bool enable_scan_optimization = true;
+  /// Off: scans always k-way-merge the overlapping unsorted tables. On:
+  /// each partition with >= 2 unsorted tables maintains a sorted anchor
+  /// view (<id>.anchors; DESIGN.md §12) that iterators binary-search once
+  /// and then stream with one lockstep cursor per table.
+  bool enable_anchor_view = true;
 
   // --- Baseline LSM knobs ---
 
@@ -173,8 +181,23 @@ struct Options {
 };
 
 struct ReadOptions {
+  /// Checksum verification on reads. Table blocks and value-log records
+  /// always carry CRCs and this engine always verifies them on read, so
+  /// the default (off) is already satisfied with the stronger behavior;
+  /// setting it true asserts the same thing explicitly.
   bool verify_checksums = false;
+  /// Insert data blocks read by this operation into the block cache.
+  /// Turn off for bulk scans that should not evict the hot working set.
   bool fill_cache = true;
+
+  /// Snapshot sequence for iterators and scans: entries written with a
+  /// sequence number greater than this are invisible, giving a
+  /// point-in-time read. 0 (the default) reads at the latest visible
+  /// sequence. Obtain the current visible sequence from
+  /// GetProperty("db.visible-sequence"); the store keeps all versions
+  /// until merge time, so recent snapshots stay readable while the
+  /// iterator pins its version.
+  uint64_t snapshot = 0;
 
   /// MultiGet only: upper bound on reader tasks a batch may fan out
   /// across the value-fetch pool when its keys span several partitions.

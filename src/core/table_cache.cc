@@ -49,7 +49,7 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
 }
 
 Iterator* TableCache::NewIterator(uint64_t file_number, uint64_t file_size,
-                                  const Table** tableptr) {
+                                  const Table** tableptr, bool fill_cache) {
   if (tableptr != nullptr) *tableptr = nullptr;
   void* handle = nullptr;
   Status s = FindTable(file_number, file_size, &handle);
@@ -57,7 +57,7 @@ Iterator* TableCache::NewIterator(uint64_t file_number, uint64_t file_size,
 
   Cache::Handle* h = reinterpret_cast<Cache::Handle*>(handle);
   Table* table = reinterpret_cast<Table*>(cache_->Value(h));
-  Iterator* result = table->NewIterator();
+  Iterator* result = table->NewIterator(fill_cache);
   Cache* cache = cache_.get();
   result->RegisterCleanup([cache, h] { cache->Release(h); });
   if (tableptr != nullptr) *tableptr = table;

@@ -31,9 +31,11 @@ class TableCache {
 
   /// Returns an iterator over the named table. If `tableptr` is non-null,
   /// also stores the Table* backing the iterator (valid while the iterator
-  /// lives).
+  /// lives). `fill_cache` false keeps blocks this iterator reads out of
+  /// the block cache (ReadOptions::fill_cache).
   Iterator* NewIterator(uint64_t file_number, uint64_t file_size,
-                        const Table** tableptr = nullptr);
+                        const Table** tableptr = nullptr,
+                        bool fill_cache = true);
 
   /// Seeks `internal_key` in the named table; see Table::Get.
   Status Get(uint64_t file_number, uint64_t file_size,

@@ -51,6 +51,9 @@ EngineMetrics::EngineMetrics() {
   memtable_micros_total = registry.GetCounter("memtable_micros_total");
   scans = registry.GetCounter("scans");
   scan_entries = registry.GetCounter("scan_entries");
+  anchor_view_builds = registry.GetCounter("anchor_view_builds");
+  scan_anchor_hits = registry.GetCounter("scan_anchor_hits");
+  anchor_view_bytes = registry.GetGauge("anchor_view_bytes");
 
   get_latency = registry.GetHistogram("get_latency_us");
   write_latency = registry.GetHistogram("write_latency_us");
@@ -387,6 +390,9 @@ Status UniKVDB::Recover() {
   s = RebuildHashIndexes();
   if (!s.ok()) return s;
 
+  s = RecoverAnchorViews();
+  if (!s.ok()) return s;
+
   RemoveObsoleteFiles();
   return Status::OK();
 }
@@ -502,6 +508,107 @@ Status UniKVDB::RebuildHashIndexes() {
     indexes_[p->id] = index;
     vlog_garbage_[p->id] = 0;
     flushes_since_checkpoint_[p->id] = 0;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------- anchor views (§12)
+
+void UniKVDB::InstallAnchorViewLocked(uint32_t pid, AnchorViewPtr view) {
+  auto it = anchor_views_.find(pid);
+  if (it != anchor_views_.end()) {
+    metrics_.anchor_view_bytes->Add(
+        -static_cast<int64_t>(it->second->byte_size));
+    anchor_views_.erase(it);
+  }
+  if (view != nullptr) {
+    metrics_.anchor_view_bytes->Add(static_cast<int64_t>(view->byte_size));
+    anchor_views_.emplace(pid, std::move(view));
+  }
+}
+
+void UniKVDB::MaintainAnchorViewLocked(uint32_t pid,
+                                       const std::vector<FileMeta>& tables,
+                                       const AnchorView* base,
+                                       const FileMeta* added,
+                                       VersionEdit* edit) {
+  if (!options_.enable_anchor_view || tables.size() < 2) {
+    // A single table is already sorted; nothing to accelerate. Retire
+    // the view (the edit also drops the backing file from the live set,
+    // so RemoveObsoleteFiles sweeps it).
+    InstallAnchorViewLocked(pid, nullptr);
+    edit->SetAnchorView(pid, 0);
+    return;
+  }
+
+  const int restart_interval = options_.table_options.block_restart_interval;
+  AnchorView built;
+  Status s;
+  if (base != nullptr && added != nullptr) {
+    // Flush install: one merge pass over the existing view and the new
+    // table instead of re-reading every covered table.
+    s = MergeAnchorView(icmp_, table_cache_.get(), *base, *added,
+                        restart_interval, &built);
+  } else {
+    s = BuildAnchorView(icmp_, table_cache_.get(), tables, restart_interval,
+                        &built);
+  }
+  if (!s.ok()) {
+    // View maintenance is never fatal: retire it and let scans fall back
+    // to the merging iterator until the next install rebuilds it.
+    InstallAnchorViewLocked(pid, nullptr);
+    edit->SetAnchorView(pid, 0);
+    return;
+  }
+
+  // Persist before the manifest edit lands; mu_ is held through
+  // LogAndApply, so the file becomes live atomically with the edit (same
+  // install-time I/O precedent as InsertTableIntoIndex). On a write
+  // failure keep the view in memory only — RemoveObsoleteFiles sweeps
+  // the orphan.
+  const uint64_t number = versions_->NewFileNumber();
+  Status ws = WriteAnchorViewFile(
+      env_, AnchorViewFileName(dbname_, number), pid, built);
+  if (ws.ok()) {
+    built.file_number = number;
+    edit->SetAnchorView(pid, number);
+  } else {
+    built.file_number = 0;
+    edit->SetAnchorView(pid, 0);
+  }
+  metrics_.anchor_view_builds->Inc();
+  InstallAnchorViewLocked(
+      pid, std::make_shared<const AnchorView>(std::move(built)));
+}
+
+Status UniKVDB::RecoverAnchorViews() {
+  if (!options_.enable_anchor_view) return Status::OK();
+  const int restart_interval = options_.table_options.block_restart_interval;
+  VersionPtr ver = versions_->current();
+  for (const auto& p : ver->partitions) {
+    if (p->unsorted.size() < 2) continue;
+    AnchorView view;
+    bool have = false;
+    if (p->anchor_view != 0) {
+      Status s = LoadAnchorViewFile(
+          env_, AnchorViewFileName(dbname_, p->anchor_view), p->id, &view);
+      if (s.ok() && view.Covers(p->unsorted)) {
+        view.file_number = p->anchor_view;
+        have = true;
+      }
+      // A missing, corrupt, or stale file (e.g. the manifest edit landed
+      // but the crash hit before/after unevenly) is not an error — the
+      // tables are the source of truth; rebuild below.
+    }
+    if (!have) {
+      Status s = BuildAnchorView(icmp_, table_cache_.get(), p->unsorted,
+                                 restart_interval, &view);
+      if (!s.ok()) continue;  // scans fall back to the merging iterator
+      view.file_number = 0;   // memory-only; next flush install re-persists
+      metrics_.anchor_view_builds->Inc();
+    }
+    InstallAnchorViewLocked(p->id,
+                            std::make_shared<const AnchorView>(std::move(view)));
   }
   return Status::OK();
 }
@@ -1571,7 +1678,8 @@ Status UniKVDB::GetFromSorted(const PartitionState& p, const LookupKey& lkey,
 
 // ------------------------------------------------------------- iterators
 
-Iterator* UniKVDB::NewInternalIterator(SequenceNumber* latest_seq) {
+Iterator* UniKVDB::NewInternalIterator(const ReadOptions& options,
+                                       SequenceNumber* latest_seq) {
   // Same capture order as Get: published snapshot, then every shard's
   // memtables (one shard lock at a time), then the version — so an entry
   // flushed mid-capture is in a pinned imm or in the version's tables.
@@ -1598,17 +1706,43 @@ Iterator* UniKVDB::NewInternalIterator(SequenceNumber* latest_seq) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  VersionPtr ver = versions_->current();
+  // Capture the version and the anchor-view snapshots under a short mu_
+  // hold — no I/O. Table iterators (which can open files and read blocks
+  // on a cache miss) are created only after mu_ is released; the pinned
+  // version keeps every captured file live against RemoveObsoleteFiles,
+  // exactly as the Get path relies on.
+  VersionPtr ver;
+  std::unordered_map<uint32_t, AnchorViewPtr> views;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ver = versions_->current();
+    if (options_.enable_anchor_view) views = anchor_views_;
+  }
+
+  const bool fill = options.fill_cache;
   for (const auto& p : ver->partitions) {
-    for (const FileMeta& f : p->unsorted) {
-      children.push_back(table_cache_->NewIterator(f.number, f.size));
+    AnchorViewPtr view;
+    if (auto it = views.find(p->id); it != views.end()) view = it->second;
+    if (view != nullptr && p->unsorted.size() >= 2 &&
+        view->Covers(p->unsorted)) {
+      // One anchor-guided child replaces one child per unsorted table:
+      // Next() costs a view step + one cursor step instead of a k-way
+      // heap pop (DESIGN.md §12).
+      children.push_back(
+          NewAnchorViewIterator(icmp_, view, table_cache_.get(), fill));
+      metrics_.scan_anchor_hits->Inc();
+    } else {
+      for (const FileMeta& f : p->unsorted) {
+        children.push_back(
+            table_cache_->NewIterator(f.number, f.size, nullptr, fill));
+      }
     }
     if (!p->sorted.empty()) {
       std::vector<Iterator*> run;
       run.reserve(p->sorted.size());
       for (const FileMeta& f : p->sorted) {
-        run.push_back(table_cache_->NewIterator(f.number, f.size));
+        run.push_back(table_cache_->NewIterator(f.number, f.size, nullptr,
+                                                fill));
       }
       children.push_back(NewConcatenatingIterator(icmp_, std::move(run)));
     }
@@ -1620,9 +1754,15 @@ Iterator* UniKVDB::NewInternalIterator(SequenceNumber* latest_seq) {
   return merged;
 }
 
-Iterator* UniKVDB::NewIterator(const ReadOptions& /*options*/) {
+Iterator* UniKVDB::NewIterator(const ReadOptions& options) {
   SequenceNumber seq;
-  Iterator* internal = NewInternalIterator(&seq);
+  Iterator* internal = NewInternalIterator(options, &seq);
+  // A caller-pinned snapshot reads point-in-time; clamp to the visible
+  // ceiling so a stale or garbage snapshot can never surface unacked
+  // writes.
+  if (options.snapshot != 0 && options.snapshot < seq) {
+    seq = options.snapshot;
+  }
   return new DBIter(icmp_, internal, seq, vlog_cache_.get(),
                     options_.enable_scan_optimization);
 }
@@ -1636,8 +1776,14 @@ Status UniKVDB::Scan(const ReadOptions& options, const Slice& start,
   Status s = ScanImpl(options, start, count, out);
   const uint64_t dur = env_->NowMicros() - start_us;
   perf->scan_micros += dur;
-  metrics_.scan_entries->Add(out->size());
-  metrics_.scan_latency->Add(dur == 0 ? 1 : dur);
+  if (s.ok()) {
+    metrics_.scan_entries->Add(out->size());
+    metrics_.scan_latency->Add(dur == 0 ? 1 : dur);
+  } else {
+    // Failed scans neither count toward throughput metrics nor leave
+    // half-filled results for the caller to mistake for data.
+    out->clear();
+  }
   PerfEndOp(perf);
   return s;
 }
@@ -1658,7 +1804,10 @@ Status UniKVDB::ScanImpl(const ReadOptions& options, const Slice& start,
   // (2) issue readahead from the first value, (3) fetch values through
   // the thread pool in parallel.
   SequenceNumber seq;
-  Iterator* internal = NewInternalIterator(&seq);
+  Iterator* internal = NewInternalIterator(options, &seq);
+  if (options.snapshot != 0 && options.snapshot < seq) {
+    seq = options.snapshot;
+  }
   DBIter iter(icmp_, internal, seq, vlog_cache_.get(), true);
 
   struct PendingEntry {
@@ -1845,6 +1994,15 @@ bool UniKVDB::GetProperty(const Slice& property, std::string* value) {
   if (property == Slice("db.last-sequence")) {
     std::snprintf(buf, sizeof(buf), "%" PRIu64,
                   seq_alloc_.load(std::memory_order_acquire));
+    *value = buf;
+    return true;
+  }
+  if (property == Slice("db.visible-sequence")) {
+    // The published read snapshot: every write at or below this sequence
+    // is durable and visible. Pass it as ReadOptions::snapshot to pin
+    // later iterators/scans to this point in time.
+    std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                  visible_seq_.load(std::memory_order_acquire));
     *value = buf;
     return true;
   }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/anchor_view.h"
 #include "core/db.h"
 #include "core/dbformat.h"
 #include "core/table_cache.h"
@@ -120,6 +121,11 @@ struct EngineMetrics {
   // Scans.
   Counter* scans;
   Counter* scan_entries;
+
+  // Sorted anchor view (DESIGN.md §12).
+  Counter* anchor_view_builds;  // Views built or extended (installs, recovery).
+  Counter* scan_anchor_hits;    // Iterator trees that used a view.
+  Gauge* anchor_view_bytes;     // Current total view bytes across partitions.
 
   // Operation and background-job latencies (microseconds).
   ConcurrentHistogram* get_latency;
@@ -435,8 +441,37 @@ class UniKVDB : public DB {
                       std::vector<Status>* statuses);
 
   /// Builds a merged internal iterator over memtables and all partitions;
-  /// *latest_seq receives the snapshot sequence.
-  Iterator* NewInternalIterator(SequenceNumber* latest_seq);
+  /// *latest_seq receives the snapshot sequence. FileMeta lists and the
+  /// pinned version are captured under a short mu_ hold; the table
+  /// iterators themselves (which can do disk I/O) open after it is
+  /// released. Partitions whose anchor view exactly covers their unsorted
+  /// tables contribute one anchor-guided child instead of one child per
+  /// table (DESIGN.md §12).
+  Iterator* NewInternalIterator(const ReadOptions& options,
+                                SequenceNumber* latest_seq);
+
+  /// Replaces (or retires, view == nullptr) a partition's in-memory
+  /// anchor view and keeps the anchor_view_bytes gauge in sync.
+  /// Requires mu_ held.
+  void InstallAnchorViewLocked(uint32_t pid, AnchorViewPtr view);
+
+  /// Install-path maintenance (requires mu_ held, like the survivor
+  /// hash-index rebuild it mirrors): builds the post-install view for
+  /// `pid` over `tables`, persists it, and records it in `edit`. With
+  /// fewer than two tables the view is retired instead. `base` (optional)
+  /// is the pre-flush view a flush install extends with `added` in one
+  /// merge pass; otherwise the view is rebuilt by walking `tables`.
+  /// Failures retire the view (scans fall back to the merging iterator) —
+  /// never fatal.
+  void MaintainAnchorViewLocked(uint32_t pid,
+                                const std::vector<FileMeta>& tables,
+                                const AnchorView* base, const FileMeta* added,
+                                VersionEdit* edit);
+
+  /// Recovery: loads each partition's persisted view (validating coverage
+  /// against the recovered unsorted set) and rebuilds missing or stale
+  /// ones from the tables themselves.
+  Status RecoverAnchorViews();
 
   // ---- Immutable after Open ----
   Options options_;
@@ -501,6 +536,10 @@ class UniKVDB : public DB {
 
   // Mutable per-partition side state (not versioned).
   std::unordered_map<uint32_t, std::shared_ptr<HashIndex>> indexes_;
+  /// Immutable per-partition anchor views (DESIGN.md §12). The map is
+  /// guarded by mu_; the views themselves are immutable, so readers
+  /// snapshot the shared_ptr under mu_ and use it lock-free.
+  std::unordered_map<uint32_t, AnchorViewPtr> anchor_views_;
   std::unordered_map<uint32_t, uint64_t> vlog_garbage_;
   std::unordered_map<uint32_t, int> flushes_since_checkpoint_;
   std::unordered_map<uint32_t, PartitionCounters> partition_stats_;

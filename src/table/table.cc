@@ -95,8 +95,8 @@ static void ReleaseBlockHandle(Cache* cache, Cache::Handle* handle) {
   cache->Release(handle);
 }
 
-Status Table::FindBlock(const BlockHandle& handle, Block** block,
-                        Cache::Handle** cache_handle) const {
+Status Table::FindBlock(const BlockHandle& handle, bool fill_cache,
+                        Block** block, Cache::Handle** cache_handle) const {
   Rep* r = rep_;
   *block = nullptr;
   *cache_handle = nullptr;
@@ -118,7 +118,7 @@ Status Table::FindBlock(const BlockHandle& handle, Block** block,
       Status s = ReadBlock(r->file.get(), handle, &contents);
       if (!s.ok()) return s;
       *block = new Block(contents);
-      if (contents.cachable) {
+      if (contents.cachable && fill_cache) {
         *cache_handle = r->block_cache->Insert(key, *block, (*block)->size(),
                                                &DeleteCachedBlock);
       }
@@ -133,10 +133,11 @@ Status Table::FindBlock(const BlockHandle& handle, Block** block,
   return Status::OK();
 }
 
-Iterator* Table::NewBlockIterator(const BlockHandle& handle) const {
+Iterator* Table::NewBlockIterator(const BlockHandle& handle,
+                                  bool fill_cache) const {
   Block* block = nullptr;
   Cache::Handle* cache_handle = nullptr;
-  Status s = FindBlock(handle, &block, &cache_handle);
+  Status s = FindBlock(handle, fill_cache, &block, &cache_handle);
   if (!s.ok()) return NewErrorIterator(s);
 
   Iterator* iter = block->NewIterator(rep_->icmp);
@@ -156,8 +157,8 @@ namespace {
 /// whose values are handles to data blocks.
 class TwoLevelIterator : public Iterator {
  public:
-  TwoLevelIterator(const Table* table, Iterator* index_iter)
-      : table_(table), index_iter_(index_iter) {}
+  TwoLevelIterator(const Table* table, Iterator* index_iter, bool fill_cache)
+      : table_(table), index_iter_(index_iter), fill_cache_(fill_cache) {}
 
   ~TwoLevelIterator() override {
     delete index_iter_;
@@ -252,6 +253,7 @@ class TwoLevelIterator : public Iterator {
 
   const Table* table_;
   Iterator* index_iter_;
+  const bool fill_cache_;
   Iterator* data_iter_ = nullptr;
   std::string data_block_handle_;
   Status status_;
@@ -273,20 +275,28 @@ void TwoLevelIterator::InitDataBlock() {
     SetDataIterator(nullptr);
     return;
   }
-  Slice handle = index_iter_->value();
+  Slice handle_value = index_iter_->value();
   if (data_iter_ != nullptr &&
-      handle.compare(Slice(data_block_handle_)) == 0) {
+      handle_value.compare(Slice(data_block_handle_)) == 0) {
     // Already at the right block.
     return;
   }
-  Iterator* iter = Table::BlockReader(
-      const_cast<void*>(reinterpret_cast<const void*>(table_)), handle);
-  data_block_handle_.assign(handle.data(), handle.size());
+  BlockHandle handle;
+  Slice input = handle_value;
+  Status s = handle.DecodeFrom(&input);
+  Iterator* iter = s.ok() ? table_->NewBlockIterator(handle, fill_cache_)
+                          : NewErrorIterator(s);
+  data_block_handle_.assign(handle_value.data(), handle_value.size());
   SetDataIterator(iter);
 }
 
-Iterator* Table::NewIterator() const {
-  return new TwoLevelIterator(this, rep_->index_block->NewIterator(rep_->icmp));
+Iterator* Table::NewIterator(bool fill_cache) const {
+  return new TwoLevelIterator(
+      this, rep_->index_block->NewIterator(rep_->icmp), fill_cache);
+}
+
+Iterator* Table::NewIndexIterator() const {
+  return rep_->index_block->NewIterator(rep_->icmp);
 }
 
 void Table::Probe::Release() {
@@ -328,7 +338,7 @@ Status Table::Get(const Slice& internal_key, bool* found, std::string* key_out,
           GetPerfContext()->block_cache_hits++;
         }
       } else {
-        s = FindBlock(handle, &block, &cache_handle);
+        s = FindBlock(handle, true /*fill_cache*/, &block, &cache_handle);
       }
       if (s.ok()) {
         Slice value;

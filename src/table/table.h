@@ -33,8 +33,16 @@ class Table {
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
 
-  /// Returns a new iterator over the table contents.
-  Iterator* NewIterator() const;
+  /// Returns a new iterator over the table contents. `fill_cache` false
+  /// keeps data blocks read by this iterator out of the block cache
+  /// (bulk scans that should not evict the hot working set).
+  Iterator* NewIterator(bool fill_cache = true) const;
+
+  /// Returns an iterator over the index block: keys are the last internal
+  /// key of each data block, values decode to BlockHandles (feed them to
+  /// BlockReader). Used by the anchor-view builder to walk data blocks
+  /// with their file offsets in hand.
+  Iterator* NewIndexIterator() const;
 
   /// Batch-local reuse state for a run of Get() calls with ascending keys
   /// (one MultiGet partition group probes its keys in sorted order, so
@@ -80,6 +88,9 @@ class Table {
   /// that data block. `arg` is the Table*. (Used by the two-level iterator.)
   static Iterator* BlockReader(void* arg, const Slice& index_value);
 
+  Iterator* NewBlockIterator(const BlockHandle& handle,
+                             bool fill_cache = true) const;
+
  private:
   struct Rep;
 
@@ -87,11 +98,10 @@ class Table {
 
   /// Resolves a data block through the block cache (or a direct read).
   /// On success the caller must Release(*cache_handle) when it is non-null,
-  /// else delete *block.
-  Status FindBlock(const BlockHandle& handle, Block** block,
+  /// else delete *block. `fill_cache` false skips inserting a freshly read
+  /// block into the cache.
+  Status FindBlock(const BlockHandle& handle, bool fill_cache, Block** block,
                    Cache::Handle** cache_handle) const;
-
-  Iterator* NewBlockIterator(const BlockHandle& handle) const;
 
   Rep* const rep_;
   mutable std::atomic<uint64_t> access_count_{0};

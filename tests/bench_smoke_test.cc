@@ -233,6 +233,68 @@ TEST(BenchSmokeTest, MultiGetSchemaV3Holds) {
       0.0);
 }
 
+// Schema v4 additions, exercised through the scan driver used by
+// bench_trajectory's scan workload: params carries "scan_merge_limit"
+// and "enable_anchor_view", and a scan phase over a multi-table
+// UnsortedStore drives the anchor view (scan_anchor_hits > 0 in the
+// embedded engine metrics).
+TEST(BenchSmokeTest, ScanSchemaV4Holds) {
+  const std::string root = test::NewTestDir("bench_smoke_scan");
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 64 * 1024 * 1024;  // Keep tables stacked.
+  opt.scan_merge_limit = 100000;          // No scan-merge mid-test.
+  BenchDb bdb(Engine::kUniKV, opt, root);
+
+  std::vector<PhaseResult> phases;
+  LoadSpec load;
+  load.num_keys = 3000;
+  load.value_size = 256;
+  phases.push_back(RunLoad(&bdb, load));
+
+  // RunLoad settles with CompactAll, which drains the UnsortedStore (and
+  // retires the view). Stack fresh overlapping unsorted tables on top of
+  // the merged base so the scans below actually exercise the view.
+  for (uint64_t i = 0; i < load.num_keys; i++) {
+    uint64_t id = (i * 977) % load.num_keys;
+    ASSERT_TRUE(bdb.db()
+                    ->Put(WriteOptions(), KeyGenerator::Key(id), "refill")
+                    .ok());
+    if (i % 300 == 299) ASSERT_TRUE(bdb.db()->FlushMemTable().ok());
+  }
+
+  ScanSpec scan;
+  scan.phase = "scan_view";
+  scan.num_ops = 50;
+  scan.scan_len = 50;
+  scan.key_space = load.num_keys;
+  phases.push_back(RunScans(&bdb, scan));
+
+  const std::string out_dir = test::NewTestDir("bench_smoke_scan_out");
+  const std::string path =
+      WriteBenchTrajectory("smoke_scan", &bdb, phases, out_dir);
+  std::string json = ReadWholeFile(path);
+  ASSERT_FALSE(json.empty());
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+
+  EXPECT_EQ(static_cast<int>(NumAfter(json, "", "schema_version")),
+            kBenchJsonSchemaVersion);
+  EXPECT_EQ(static_cast<int>(
+                NumAfter(json, "\"params\":", "scan_merge_limit")),
+            100000);
+  EXPECT_NE(json.find("\"enable_anchor_view\":true"), std::string::npos)
+      << json;
+  // Scan ops count entries returned; starts drawn near the end of the
+  // key space return short, so only a floor is guaranteed.
+  EXPECT_GT(NumAfter(json, "\"phase\":\"scan_view\"", "ops"), 0.0);
+
+  // The tiny write buffer stacks well over two overlapping unsorted
+  // tables, so the scans must have gone through the anchor view.
+  EXPECT_GT(NumAfter(json, "\"engine_metrics\":", "scan_anchor_hits"), 0.0);
+  EXPECT_GT(NumAfter(json, "\"engine_metrics\":", "anchor_view_builds"),
+            0.0);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace unikv

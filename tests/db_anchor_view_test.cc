@@ -1,0 +1,372 @@
+// Differential tests for the sorted anchor view over the UnsortedStore
+// (DESIGN.md §12): every ordered read path — full iteration both ways,
+// random seeks, Scan() — is compared entry-for-entry against a golden
+// std::map and against the forced heap-merge fallback
+// (enable_anchor_view=false over the same files), across flush, merge,
+// and recovery epochs, with inline and log-separated values, under a
+// pinned snapshot, against a concurrent flusher, and after the backing
+// .anchors file is deleted or corrupted.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "core/filename.h"
+#include "test_util.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace unikv {
+namespace {
+
+// Stacks many overlapping unsorted tables and keeps them stacked: a tiny
+// write buffer, a merge limit the test can't reach, and a scan-merge
+// limit high enough that the scans below never trigger consolidation —
+// the view (or the fallback heap) stays the component under test.
+Options AnchorOptions() {
+  Options opt;
+  opt.write_buffer_size = 32 * 1024;
+  opt.unsorted_limit = 64 * 1024 * 1024;
+  opt.partition_size_limit = 256 * 1024 * 1024;
+  opt.scan_merge_limit = 100000;
+  return opt;
+}
+
+double MetricValue(DB* db, const std::string& name) {
+  std::string json;
+  if (!db->GetProperty("db.metrics.json", &json)) return -1;
+  size_t pos = json.find("\"" + name + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(json.c_str() + pos + name.size() + 3, nullptr);
+}
+
+class DbAnchorViewTest : public testing::Test {
+ protected:
+  void Open(const Options& opt, const std::string& name) {
+    opt_ = opt;
+    dir_ = test::NewTestDir(name);
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(opt_, dir_, &raw).ok());
+    db_.reset(raw);
+  }
+
+  void Reopen(bool enable_anchor_view) {
+    db_.reset();
+    opt_.enable_anchor_view = enable_anchor_view;
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(opt_, dir_, &raw).ok());
+    db_.reset(raw);
+  }
+
+  // Ten interleaved batches, one flushed table each, every table spanning
+  // the whole key range so the UnsortedStore is maximally overlapping.
+  // Values alternate below and above value_separation_threshold so the
+  // view is exercised over both inline values and vlog pointers; some
+  // keys are overwritten across batches and some deleted.
+  void FillManyTables(std::map<std::string, std::string>* model,
+                      int batches = 10, uint64_t stride = 977) {
+    for (int b = 0; b < batches; b++) {
+      for (int i = 0; i < 60; i++) {
+        uint64_t id = (static_cast<uint64_t>(i) * stride + b) % 600;
+        std::string key = test::TestKey(id);
+        std::string value = (i % 3 == 0)
+                                ? "inline" + std::to_string(b * 1000 + i)
+                                : test::TestValue(b * 1000 + i, 200);
+        ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+        (*model)[key] = value;
+      }
+      for (int i = 0; i < 5; i++) {
+        uint64_t id = (static_cast<uint64_t>(b) * 131 + i * 17) % 600;
+        std::string key = test::TestKey(id);
+        ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+        model->erase(key);
+      }
+      ASSERT_TRUE(db_->FlushMemTable().ok());
+    }
+  }
+
+  int UnsortedTableCount() {
+    std::string text;
+    if (!db_->GetProperty("db.sstables", &text)) return -1;
+    int total = 0;
+    size_t pos = 0;
+    while ((pos = text.find("unsorted=", pos)) != std::string::npos) {
+      total += std::atoi(text.c_str() + pos + 9);
+      pos += 9;
+    }
+    return total;
+  }
+
+  void ExpectMatchesModel(const std::map<std::string, std::string>& model) {
+    // Full forward pass.
+    std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+    auto mit = model.begin();
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+      ASSERT_NE(mit, model.end());
+      ASSERT_EQ(mit->first, iter->key().ToString());
+      ASSERT_EQ(mit->second, iter->value().ToString());
+    }
+    ASSERT_EQ(mit, model.end());
+    ASSERT_TRUE(iter->status().ok()) << iter->status().ToString();
+
+    // Full reverse pass.
+    auto rit = model.rbegin();
+    for (iter->SeekToLast(); iter->Valid(); iter->Prev(), ++rit) {
+      ASSERT_NE(rit, model.rend());
+      ASSERT_EQ(rit->first, iter->key().ToString());
+      ASSERT_EQ(rit->second, iter->value().ToString());
+    }
+    ASSERT_EQ(rit, model.rend());
+    ASSERT_TRUE(iter->status().ok()) << iter->status().ToString();
+
+    // Random seeks + short walks in both directions.
+    Random rnd(42);
+    for (int trial = 0; trial < 40; trial++) {
+      std::string target = test::TestKey(rnd.Uniform(650));
+      iter->Seek(target);
+      auto lb = model.lower_bound(target);
+      if (lb == model.end()) {
+        ASSERT_FALSE(iter->Valid()) << target;
+        continue;
+      }
+      ASSERT_TRUE(iter->Valid()) << target;
+      ASSERT_EQ(lb->first, iter->key().ToString());
+      ASSERT_EQ(lb->second, iter->value().ToString());
+      for (int step = 0; step < 5 && iter->Valid(); step++) {
+        ++lb;
+        iter->Next();
+        if (lb == model.end()) {
+          ASSERT_FALSE(iter->Valid());
+        } else {
+          ASSERT_TRUE(iter->Valid());
+          ASSERT_EQ(lb->first, iter->key().ToString());
+        }
+      }
+    }
+
+    // Scan().
+    for (int trial = 0; trial < 20; trial++) {
+      std::string start = test::TestKey(rnd.Uniform(600));
+      int count = 1 + rnd.Uniform(80);
+      std::vector<std::pair<std::string, std::string>> out;
+      ASSERT_TRUE(db_->Scan(ReadOptions(), start, count, &out).ok());
+      auto sit = model.lower_bound(start);
+      size_t i = 0;
+      for (; sit != model.end() && i < static_cast<size_t>(count);
+           ++sit, ++i) {
+        ASSERT_LT(i, out.size());
+        ASSERT_EQ(sit->first, out[i].first);
+        ASSERT_EQ(sit->second, out[i].second);
+      }
+      ASSERT_EQ(i, out.size());
+    }
+  }
+
+  std::vector<std::string> AnchorsFiles() {
+    std::vector<std::string> children, out;
+    Env::Default()->GetChildren(dir_, &children);
+    for (const std::string& c : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(c, &number, &type) &&
+          type == FileType::kAnchorsFile) {
+        out.push_back(dir_ + "/" + c);
+      }
+    }
+    return out;
+  }
+
+  Options opt_;
+  std::string dir_;
+  std::unique_ptr<DB> db_;
+};
+
+// The core differential: view-on scans match the golden map across a
+// many-table UnsortedStore, then the exact same files reopened with the
+// view disabled (forced heap-merge fallback) match too, then a merge
+// epoch (CompactAll) and a fresh round of flushes still match.
+TEST_F(DbAnchorViewTest, DifferentialAcrossEpochs) {
+  Open(AnchorOptions(), "anchor_diff");
+  std::map<std::string, std::string> model;
+  FillManyTables(&model);
+  ASSERT_GE(UnsortedTableCount(), 8);
+
+  ExpectMatchesModel(model);
+  EXPECT_GT(MetricValue(db_.get(), "scan_anchor_hits"), 0.0);
+  EXPECT_GT(MetricValue(db_.get(), "anchor_view_builds"), 0.0);
+  EXPECT_GT(MetricValue(db_.get(), "anchor_view_bytes"), 0.0);
+
+  // Same store, view off: the fallback merging iterator must agree.
+  Reopen(/*enable_anchor_view=*/false);
+  ASSERT_GE(UnsortedTableCount(), 8);
+  ExpectMatchesModel(model);
+  EXPECT_EQ(MetricValue(db_.get(), "scan_anchor_hits"), 0.0);
+
+  // View back on: recovery rebuilds it from the tables.
+  Reopen(/*enable_anchor_view=*/true);
+  ExpectMatchesModel(model);
+  EXPECT_GT(MetricValue(db_.get(), "scan_anchor_hits"), 0.0);
+
+  // Merge epoch: the unsorted tables drain into the SortedStore and the
+  // view retires.
+  ASSERT_TRUE(db_->CompactAll().ok());
+  ExpectMatchesModel(model);
+
+  // Post-merge flushes grow a fresh view via the single-pass merge path.
+  FillManyTables(&model, 6, 1013);
+  ASSERT_GE(UnsortedTableCount(), 6);
+  ExpectMatchesModel(model);
+}
+
+// ReadOptions::snapshot pins iterators and scans to a point in time.
+TEST_F(DbAnchorViewTest, SnapshotPinsIteratorsAndScans) {
+  Open(AnchorOptions(), "anchor_snapshot");
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i), "old").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  std::string seq_str;
+  ASSERT_TRUE(db_->GetProperty("db.visible-sequence", &seq_str));
+  const uint64_t snapshot = std::strtoull(seq_str.c_str(), nullptr, 10);
+  ASSERT_GT(snapshot, 0u);
+
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(i), "new").ok());
+  }
+  ASSERT_TRUE(db_->Put(WriteOptions(), test::TestKey(500), "later-key").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  ReadOptions pinned;
+  pinned.snapshot = snapshot;
+  std::unique_ptr<Iterator> iter(db_->NewIterator(pinned));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), count++) {
+    EXPECT_EQ("old", iter->value().ToString());
+  }
+  EXPECT_EQ(200, count);
+
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db_->Scan(pinned, test::TestKey(0), 500, &out).ok());
+  ASSERT_EQ(200u, out.size());
+  for (const auto& [k, v] : out) EXPECT_EQ("old", v);
+
+  // Unpinned reads see the later writes.
+  out.clear();
+  ASSERT_TRUE(db_->Scan(ReadOptions(), test::TestKey(0), 500, &out).ok());
+  ASSERT_EQ(201u, out.size());
+  EXPECT_EQ("new", out[0].second);
+}
+
+// Scans racing a concurrent flusher: each scan is a point-in-time
+// snapshot, so results must stay sorted and agree with the model for
+// every key written before the scan started.
+TEST_F(DbAnchorViewTest, ScanRacesConcurrentFlush) {
+  Open(AnchorOptions(), "anchor_race");
+  std::map<std::string, std::string> base;
+  FillManyTables(&base, 4);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // Disjoint key range (>= 1000) so the base model stays authoritative
+    // for the scanned range.
+    uint64_t id = 1000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 50; i++) {
+        db_->Put(WriteOptions(), test::TestKey(id++), "race");
+      }
+      db_->FlushMemTable();
+    }
+  });
+
+  Random rnd(7);
+  for (int trial = 0; trial < 60; trial++) {
+    std::string start = test::TestKey(rnd.Uniform(600));
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(db_->Scan(ReadOptions(), start, 40, &out).ok());
+    auto mit = base.lower_bound(start);
+    size_t i = 0;
+    for (; mit != base.end() && i < 40u && i < out.size(); ++mit, ++i) {
+      if (mit->first >= test::TestKey(1000)) break;
+      ASSERT_EQ(mit->first, out[i].first);
+      ASSERT_EQ(mit->second, out[i].second);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// A deleted .anchors file is a recovery non-event: the tables are the
+// source of truth and the view is rebuilt in memory.
+TEST_F(DbAnchorViewTest, DeletedAnchorsFileRebuilds) {
+  Open(AnchorOptions(), "anchor_delete");
+  std::map<std::string, std::string> model;
+  FillManyTables(&model);
+  db_.reset();
+
+  std::vector<std::string> files = AnchorsFiles();
+  ASSERT_FALSE(files.empty());
+  for (const std::string& f : files) {
+    ASSERT_TRUE(Env::Default()->RemoveFile(f).ok());
+  }
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(opt_, dir_, &raw).ok());
+  db_.reset(raw);
+  ExpectMatchesModel(model);
+  EXPECT_GT(MetricValue(db_.get(), "scan_anchor_hits"), 0.0);
+}
+
+// A corrupted .anchors file fails its crc and is likewise rebuilt.
+TEST_F(DbAnchorViewTest, CorruptedAnchorsFileRebuilds) {
+  Open(AnchorOptions(), "anchor_corrupt");
+  std::map<std::string, std::string> model;
+  FillManyTables(&model);
+  db_.reset();
+
+  std::vector<std::string> files = AnchorsFiles();
+  ASSERT_FALSE(files.empty());
+  for (const std::string& fname : files) {
+    std::FILE* f = std::fopen(fname.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 24, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(opt_, dir_, &raw).ok());
+  db_.reset(raw);
+  ExpectMatchesModel(model);
+  EXPECT_GT(MetricValue(db_.get(), "scan_anchor_hits"), 0.0);
+}
+
+// fill_cache=false reads bypass block-cache insertion but return the
+// same data.
+TEST_F(DbAnchorViewTest, NoFillCacheScanMatches) {
+  Open(AnchorOptions(), "anchor_nofill");
+  std::map<std::string, std::string> model;
+  FillManyTables(&model, 6);
+
+  ReadOptions ro;
+  ro.fill_cache = false;
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ro));
+  auto mit = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    ASSERT_EQ(mit->first, iter->key().ToString());
+    ASSERT_EQ(mit->second, iter->value().ToString());
+  }
+  ASSERT_EQ(mit, model.end());
+  ASSERT_TRUE(iter->status().ok());
+}
+
+}  // namespace
+}  // namespace unikv
