@@ -14,10 +14,12 @@ inline std::string BenchRoot(const std::string& name) {
   const char* base = std::getenv("UNIKV_BENCH_DIR");
   std::string root =
       std::string(base != nullptr ? base : "/tmp") + "/unikv_bench";
-  Env::Default()->CreateDir(root);
+  // Best-effort scratch setup: survivors of a failed cleanup only skew
+  // disk accounting, and a failed create surfaces on the first file open.
+  (void)Env::Default()->CreateDir(root);
   root += "/" + name;
-  RemoveDirRecursively(Env::Default(), root);
-  Env::Default()->CreateDir(root);
+  (void)RemoveDirRecursively(Env::Default(), root);
+  (void)Env::Default()->CreateDir(root);
   return root;
 }
 

@@ -36,9 +36,9 @@ int main() {
       std::string key = KeyGenerator::Key(i);
       std::string value = MakeValue(i, value_size);
       data_bytes += key.size() + value.size();
-      bdb.db()->Put(WriteOptions(), key, value);
+      OrDie(bdb.db()->Put(WriteOptions(), key, value), "Put");
     }
-    bdb.db()->FlushMemTable();
+    OrDie(bdb.db()->FlushMemTable(), "FlushMemTable");
 
     std::string entries = "0", bytes = "0";
     bdb.db()->GetProperty("db.hash-index-entries", &entries);

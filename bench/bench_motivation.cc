@@ -66,15 +66,19 @@ int main() {
     load.value_size = kValueSize;
     // Plain load without CompactAll so a natural level hierarchy remains.
     for (uint64_t i = 0; i < keys; i++) {
-      bdb.db()->Put(WriteOptions(), KeyGenerator::Key(i),
-                    MakeValue(i, kValueSize));
+      OrDie(bdb.db()->Put(WriteOptions(), KeyGenerator::Key(i),
+                          MakeValue(i, kValueSize)),
+            "Put");
     }
-    bdb.db()->FlushMemTable();
+    OrDie(bdb.db()->FlushMemTable(), "FlushMemTable");
 
     KeyGenerator gen(Distribution::kZipfian, keys, 99);
     std::string value;
     for (uint64_t i = 0; i < Scaled(20000); i++) {
-      bdb.db()->Get(ReadOptions(), KeyGenerator::Key(gen.NextId()), &value);
+      // Zipfian over the loaded space: every key exists, but the read
+      // is measurement, not verification.
+      (void)bdb.db()->Get(ReadOptions(), KeyGenerator::Key(gen.NextId()),
+                          &value);
     }
 
     std::string accesses;

@@ -34,9 +34,11 @@ int main() {
       // Load WITHOUT CompactAll-driven merges: write directly.
       WriteOptions wo;
       for (uint64_t i = 0; i < keys; i++) {
-        bdb.db()->Put(wo, KeyGenerator::Key(i), MakeValue(i, kValueSize));
+        OrDie(bdb.db()->Put(wo, KeyGenerator::Key(i),
+                            MakeValue(i, kValueSize)),
+              "Put");
       }
-      bdb.db()->FlushMemTable();
+      OrDie(bdb.db()->FlushMemTable(), "FlushMemTable");
 
       double secs = bdb.Reopen();
       row.push_back(Fmt(secs * 1000.0, 1));
@@ -62,8 +64,9 @@ int main() {
     opt.write_buffer_size = 64 * 1024 * 1024;  // Keep the tail in the WAL.
     BenchDb bdb(Engine::kUniKV, opt, root);
     for (uint64_t i = 0; i < tail; i++) {
-      bdb.db()->Put(WriteOptions(), KeyGenerator::Key(i),
-                    MakeValue(i, kValueSize));
+      OrDie(bdb.db()->Put(WriteOptions(), KeyGenerator::Key(i),
+                          MakeValue(i, kValueSize)),
+            "Put");
     }
     double secs = bdb.Reopen();
     PrintTableRow({std::to_string(tail), Fmt(secs * 1000.0, 1)});

@@ -50,7 +50,8 @@ SweepResult RunSweep(BenchDb* bdb, const std::string& prefix, bool sync,
     spec.sync = sync;
     out.phases.push_back(RunConcurrentWrites(bdb, spec));
     key_base += total_ops;        // Distinct keys per phase: no overwrites.
-    bdb->db()->CompactAll();      // Settle outside the timed window.
+    OrDie(bdb->db()->CompactAll(),  // Settle outside the timed window.
+          "CompactAll");
   }
   return out;
 }

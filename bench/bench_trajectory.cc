@@ -112,7 +112,7 @@ void RunScanTrajectory(const std::string& root) {
         std::fprintf(stderr, "refill failed: %s\n", s.ToString().c_str());
         std::abort();
       }
-      if (i % 500 == 499) off.db()->FlushMemTable();
+      if (i % 500 == 499) OrDie(off.db()->FlushMemTable(), "FlushMemTable");
     }
 
     ScanSpec scan;

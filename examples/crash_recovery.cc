@@ -52,21 +52,21 @@ int main() {
   unikv::WriteOptions synced;
   synced.sync = true;
   for (int i = 0; i < 100; i++) {
-    db->Put(synced, Key(i), "committed");
+    if (!db->Put(synced, Key(i), "committed").ok()) return 1;
   }
 
   // Phase 2: push some data through flush + merge so it lives in the
   // UnsortedStore/SortedStore rather than the WAL.
   std::printf("phase 2: flush + merge 400 more accounts\n");
   for (int i = 100; i < 500; i++) {
-    db->Put(unikv::WriteOptions(), Key(i), "merged");
+    if (!db->Put(unikv::WriteOptions(), Key(i), "merged").ok()) return 1;
   }
-  db->CompactAll();
+  if (!db->CompactAll().ok()) return 1;
 
   // Phase 3: unsynced tail the crash may eat.
   std::printf("phase 3: 50 unsynced writes (at-risk tail)\n");
   for (int i = 500; i < 550; i++) {
-    db->Put(unikv::WriteOptions(), Key(i), "volatile");
+    if (!db->Put(unikv::WriteOptions(), Key(i), "volatile").ok()) return 1;
   }
 
   // CRASH: the process dies; everything not fsynced vanishes.
@@ -94,7 +94,7 @@ int main() {
   std::printf("  unsynced tail: %d/50 survived\n", survived);
 
   // The recovered store is fully writable.
-  db->Put(synced, Key(9999), "post-crash");
+  if (!db->Put(synced, Key(9999), "post-crash").ok()) return 1;
   Check(db.get(), 9999, "post-crash");
   std::printf("crash_recovery OK\n");
   return 0;

@@ -54,16 +54,19 @@ int main(int argc, char** argv) {
     for (uint64_t i = 0; i < kMessages; i++) {
       int topic = static_cast<int>(i % kTopics);
       std::string key = TopicKey(topic, i / kTopics);
-      db->Put(unikv::WriteOptions(), key, payload);
+      if (!db->Put(unikv::WriteOptions(), key, payload).ok()) return 1;
       user_bytes += key.size() + payload.size();
       if (i % 64 == 0) {
-        db->Put(unikv::WriteOptions(),
-                "cursor/" + std::to_string(topic),
-                std::to_string(i));
+        if (!db->Put(unikv::WriteOptions(),
+                     "cursor/" + std::to_string(topic),
+                     std::to_string(i))
+                 .ok()) {
+          return 1;
+        }
         user_bytes += 20;
       }
     }
-    db->CompactAll();
+    if (!db->CompactAll().ok()) return 1;
     double write_secs = (env->NowMicros() - t0) / 1e6;
     double write_amp =
         static_cast<double>(bdb.io()->bytes_written.load()) / user_bytes;
@@ -85,7 +88,10 @@ int main(int argc, char** argv) {
     // Catch-up scan: replay one topic from an old cursor.
     t0 = env->NowMicros();
     std::vector<std::pair<std::string, std::string>> replay;
-    db->Scan(unikv::ReadOptions(), TopicKey(3, 100), 1000, &replay);
+    if (!db->Scan(unikv::ReadOptions(), TopicKey(3, 100), 1000, &replay)
+             .ok()) {
+      return 1;
+    }
     double scan_ms = (env->NowMicros() - t0) / 1e3;
 
     std::printf("%-12s %-14.1f %-12.2f %-14.1f %-12.1f\n",

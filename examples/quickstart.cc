@@ -12,7 +12,8 @@
 
 int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "/tmp/unikv_quickstart";
-  unikv::DestroyDB(unikv::Options(), path);
+  // Scratch reset; a failure here surfaces as an Open error next.
+  (void)unikv::DestroyDB(unikv::Options(), path);
 
   // 1. Open (creates the store if missing).
   unikv::Options options;
@@ -26,14 +27,20 @@ int main(int argc, char** argv) {
   std::unique_ptr<unikv::DB> db(raw);
 
   // 2. Write some data. Individual puts...
-  db->Put(unikv::WriteOptions(), "user:1001:name", "ada");
-  db->Put(unikv::WriteOptions(), "user:1001:email", "ada@example.com");
+  s = db->Put(unikv::WriteOptions(), "user:1001:name", "ada");
+  if (s.ok()) {
+    s = db->Put(unikv::WriteOptions(), "user:1001:email", "ada@example.com");
+  }
   // ...and an atomic batch.
   unikv::WriteBatch batch;
   batch.Put("user:1002:name", "grace");
   batch.Put("user:1002:email", "grace@example.com");
   batch.Delete("user:1001:email");
-  db->Write(unikv::WriteOptions(), &batch);
+  if (s.ok()) s = db->Write(unikv::WriteOptions(), &batch);
+  if (!s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   // 3. Point reads.
   std::string value;
@@ -45,7 +52,11 @@ int main(int argc, char** argv) {
 
   // 4. Range scan with the optimized Scan API (prefix iteration).
   std::vector<std::pair<std::string, std::string>> rows;
-  db->Scan(unikv::ReadOptions(), "user:", 10, &rows);
+  s = db->Scan(unikv::ReadOptions(), "user:", 10, &rows);
+  if (!s.ok()) {
+    std::fprintf(stderr, "scan failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
   std::printf("scan 'user:' ->\n");
   for (const auto& [key, val] : rows) {
     std::printf("  %s = %s\n", key.c_str(), val.c_str());

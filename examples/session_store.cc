@@ -42,7 +42,8 @@ std::string SessionBlob(uint32_t user, int version) {
 
 int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "/tmp/unikv_sessions";
-  unikv::DestroyDB(unikv::Options(), path);
+  // Scratch reset; a failure here surfaces as an Open error next.
+  (void)unikv::DestroyDB(unikv::Options(), path);
 
   unikv::Options options;
   options.write_buffer_size = 1 << 20;
@@ -60,7 +61,10 @@ int main(int argc, char** argv) {
   // Seed all sessions once (cold data).
   std::printf("seeding %u sessions...\n", kUsers);
   for (uint32_t u = 0; u < kUsers; u++) {
-    db->Put(unikv::WriteOptions(), SessionKey(u), SessionBlob(u, 0));
+    if (!db->Put(unikv::WriteOptions(), SessionKey(u), SessionBlob(u, 0))
+             .ok()) {
+      return 1;
+    }
   }
 
   // Serve skewed traffic: 80k ops, zipfian over users, 60% reads / 40%
@@ -80,8 +84,11 @@ int main(int argc, char** argv) {
         misses++;
       }
     } else {
-      db->Put(unikv::WriteOptions(), SessionKey(user),
-              SessionBlob(user, op));
+      if (!db->Put(unikv::WriteOptions(), SessionKey(user),
+                   SessionBlob(user, op))
+               .ok()) {
+        return 1;
+      }
       writes++;
     }
   }
@@ -94,11 +101,13 @@ int main(int argc, char** argv) {
   // session whose version is stale (here: the seeded version 0).
   std::printf("housekeeping sweep over one shard...\n");
   std::vector<std::pair<std::string, std::string>> shard;
-  db->Scan(unikv::ReadOptions(), SessionKey(5000), 2000, &shard);
+  if (!db->Scan(unikv::ReadOptions(), SessionKey(5000), 2000, &shard).ok()) {
+    return 1;
+  }
   int expired = 0;
   for (const auto& [key, blob] : shard) {
     if (blob.find("\"version\":0,") != std::string::npos) {
-      db->Delete(unikv::WriteOptions(), key);
+      if (!db->Delete(unikv::WriteOptions(), key).ok()) return 1;
       expired++;
     }
   }

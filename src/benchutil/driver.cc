@@ -33,10 +33,11 @@ BenchDb::BenchDb(Engine engine, const Options& base_options,
       base_options.env != nullptr ? base_options.env : Env::Default();
   env_ = std::make_unique<InstrumentedEnv>(base_env);
   options_.env = env_.get();
-  base_env->CreateDir(root);
+  (void)base_env->CreateDir(root);  // Usually exists across runs.
   path_ = root + "/" + EngineName(engine);
   if (!keep_existing) {
-    RemoveDirRecursively(env_.get(), path_);
+    // Best-effort scratch cleanup; a survivor only skews disk accounting.
+    (void)RemoveDirRecursively(env_.get(), path_);
   }
 
   DB* raw = nullptr;
@@ -158,7 +159,7 @@ PhaseResult RunLoad(BenchDb* bdb, const LoadSpec& spec) {
   }
   // Settle all background work so write amplification is fully counted
   // (the paper counts GC cost in write performance).
-  bdb->db()->CompactAll();
+  OrDie(bdb->db()->CompactAll(), "CompactAll");
   timer.Finish(spec.num_keys);
   r.user_bytes = user_bytes;
   r.write_amp = user_bytes > 0
@@ -304,7 +305,8 @@ PhaseResult RunScans(BenchDb* bdb, const ScanSpec& spec) {
     uint64_t t0 = env->NowMicros();
     if (spec.use_optimized_scan) {
       std::vector<std::pair<std::string, std::string>> out;
-      bdb->db()->Scan(ReadOptions(), start, spec.scan_len, &out);
+      OrDie(bdb->db()->Scan(ReadOptions(), start, spec.scan_len, &out),
+            "Scan");
       entries += out.size();
     } else {
       std::unique_ptr<Iterator> iter(bdb->db()->NewIterator(ReadOptions()));
@@ -343,7 +345,8 @@ PhaseResult RunUpdates(BenchDb* bdb, const UpdateSpec& spec) {
       std::abort();
     }
   }
-  bdb->db()->CompactAll();  // GC cost is part of write performance.
+  OrDie(bdb->db()->CompactAll(), "CompactAll");  // GC cost is part of
+                                                 // write performance.
   timer.Finish(spec.num_ops);
   r.user_bytes = user_bytes;
   r.write_amp = user_bytes > 0
@@ -366,9 +369,12 @@ PhaseResult RunMixed(BenchDb* bdb, const MixedSpec& spec) {
     bool is_read = (rnd.Next() % 1000) < spec.read_fraction * 1000;
     uint64_t t0 = env->NowMicros();
     if (is_read) {
-      bdb->db()->Get(ReadOptions(), key, &value);
+      // NotFound is a legitimate mixed-workload outcome (random key).
+      (void)bdb->db()->Get(ReadOptions(), key, &value);
     } else {
-      bdb->db()->Put(WriteOptions(), key, MakeValue(id ^ i, spec.value_size));
+      OrDie(bdb->db()->Put(WriteOptions(), key,
+                           MakeValue(id ^ i, spec.value_size)),
+            "Put");
     }
     r.latency_us.Add(env->NowMicros() - t0);
   }
@@ -448,29 +454,36 @@ PhaseResult RunYcsb(BenchDb* bdb, const YcsbRunSpec& spec) {
     double dice = (rnd.Next() % 1000000) / 1e6;
     uint64_t t0 = env->NowMicros();
     if (dice < ycsb->read_ratio) {
-      bdb->db()->Get(ReadOptions(), KeyGenerator::Key(gen.NextId()), &value);
+      // NotFound is a legitimate YCSB outcome (zipfian tail key).
+      (void)bdb->db()->Get(ReadOptions(), KeyGenerator::Key(gen.NextId()),
+                           &value);
     } else if (dice < ycsb->read_ratio + ycsb->update_ratio) {
       uint64_t id = gen.NextId();
-      bdb->db()->Put(WriteOptions(), KeyGenerator::Key(id),
-                     MakeValue(id ^ i, spec.value_size));
+      OrDie(bdb->db()->Put(WriteOptions(), KeyGenerator::Key(id),
+                           MakeValue(id ^ i, spec.value_size)),
+            "Put");
     } else if (dice < ycsb->read_ratio + ycsb->update_ratio +
                           ycsb->insert_ratio) {
       uint64_t id = insert_frontier++;
       gen.SetFrontier(insert_frontier);
-      bdb->db()->Put(WriteOptions(), KeyGenerator::Key(id),
-                     MakeValue(id, spec.value_size));
+      OrDie(bdb->db()->Put(WriteOptions(), KeyGenerator::Key(id),
+                           MakeValue(id, spec.value_size)),
+            "Put");
     } else if (dice < ycsb->read_ratio + ycsb->update_ratio +
                           ycsb->insert_ratio + ycsb->scan_ratio) {
       int len = 1 + static_cast<int>(rnd.Uniform(ycsb->scan_max_len));
       std::vector<std::pair<std::string, std::string>> out;
-      bdb->db()->Scan(ReadOptions(), KeyGenerator::Key(gen.NextId()), len,
-                      &out);
+      OrDie(bdb->db()->Scan(ReadOptions(), KeyGenerator::Key(gen.NextId()),
+                            len, &out),
+            "Scan");
     } else {
       // Read-modify-write.
       uint64_t id = gen.NextId();
       std::string key = KeyGenerator::Key(id);
-      bdb->db()->Get(ReadOptions(), key, &value);
-      bdb->db()->Put(WriteOptions(), key, MakeValue(id ^ i, spec.value_size));
+      (void)bdb->db()->Get(ReadOptions(), key, &value);  // May be absent.
+      OrDie(bdb->db()->Put(WriteOptions(), key,
+                           MakeValue(id ^ i, spec.value_size)),
+            "Put");
     }
     r.latency_us.Add(env->NowMicros() - t0);
   }

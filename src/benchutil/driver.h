@@ -1,6 +1,8 @@
 #ifndef UNIKV_BENCHUTIL_DRIVER_H_
 #define UNIKV_BENCHUTIL_DRIVER_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,6 +24,15 @@ namespace bench {
 enum class Engine { kUniKV, kLeveled, kTiered, kHashLog };
 
 const char* EngineName(Engine e);
+
+/// A benchmark that silently drops a failed mutation reports numbers for
+/// work it did not do; fail loudly instead.
+inline void OrDie(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
 
 /// Result of one workload phase against one engine.
 struct PhaseResult {

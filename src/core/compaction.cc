@@ -14,7 +14,7 @@ namespace unikv {
 
 // ------------------------------------------------------------- scheduling
 
-void UniKVDB::MaybeScheduleWork() { bg_work_cv_.notify_all(); }
+void UniKVDB::MaybeScheduleWork() { bg_work_cv_.SignalAll(); }
 
 bool UniKVDB::HasWorkPending() {
   for (const auto& shard : shards_) {
@@ -124,7 +124,7 @@ UniKVDB::WorkItem UniKVDB::PickWork() {
 }
 
 void UniKVDB::BackgroundWorker() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (true) {
     WorkItem item;
     while (true) {
@@ -136,7 +136,7 @@ void UniKVDB::BackgroundWorker() {
       // Writers signal a rotation (has_imm) without holding mu_, so a
       // notify can slip between this thread's predicate check and its
       // sleep; the timeout bounds that lost-wakeup window.
-      bg_work_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      bg_work_cv_.TimedWaitFor(std::chrono::milliseconds(100));
     }
     if (shutting_down_) break;
 
@@ -148,7 +148,7 @@ void UniKVDB::BackgroundWorker() {
       busy_partitions_.insert(item.partition->id);
     }
     bg_jobs_running_++;
-    lock.unlock();
+    lock.Unlock();
 
     // Fold what the job itself observed (cache hits, bloom checks, table
     // opens...) into the engine counters; each worker thread has its own
@@ -162,19 +162,19 @@ void UniKVDB::BackgroundWorker() {
     }
     RemoveObsoleteFiles();
 
-    lock.lock();
+    lock.Lock();
     if (item.kind == WorkKind::kFlush) {
       shards_[item.shard]->flush_in_progress = false;
     } else {
       busy_partitions_.erase(item.partition->id);
     }
     bg_jobs_running_--;
-    bg_cv_.notify_all();
+    bg_cv_.SignalAll();
     // Finishing a job can unblock peers: a partition leaving the busy set
     // may be the one a waiting worker needs.
-    bg_work_cv_.notify_all();
+    bg_work_cv_.SignalAll();
   }
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
 }
 
 Status UniKVDB::DispatchWork(const WorkItem& item) {
@@ -199,7 +199,7 @@ void UniKVDB::RecordBackgroundError(const Status& s) {
   // Callers may hold shard locks but never mu_ or err_mu_. err_mu_ is a
   // leaf: nothing else is acquired while it is held.
   {
-    std::lock_guard<std::mutex> lock(err_mu_);
+    MutexLock lock(&err_mu_);
     if (bg_error_.ok()) {
       bg_error_ = s;
     }
@@ -208,12 +208,12 @@ void UniKVDB::RecordBackgroundError(const Status& s) {
   // Wake every waiter. The empty lock holds order the flag store before
   // each waiter's predicate re-check, closing the lost-wakeup window for
   // threads already inside their wait.
-  { std::lock_guard<std::mutex> lock(mu_); }
-  bg_cv_.notify_all();
-  bg_work_cv_.notify_all();
+  { MutexLock lock(&mu_); }
+  bg_cv_.SignalAll();
+  bg_work_cv_.SignalAll();
   for (auto& shard : shards_) {
-    { std::lock_guard<std::mutex> shard_lock(shard->mu); }
-    shard->cv.notify_all();
+    { MutexLock shard_lock(&shard->mu); }
+    shard->cv.SignalAll();
   }
 }
 
@@ -224,28 +224,33 @@ Status UniKVDB::FlushMemTable() {
   // queue front no concurrent append can be in flight.
   Status s = WriteImpl(WriteOptions(), nullptr);
   if (!s.ok()) return s;
-  std::unique_lock<std::mutex> lock(mu_);
-  bg_work_cv_.notify_all();
-  bg_cv_.wait(lock, [this] {
-    if (has_bg_error_.load(std::memory_order_acquire)) return true;
+  MutexLock lock(&mu_);
+  bg_work_cv_.SignalAll();
+  while (true) {
+    if (has_bg_error_.load(std::memory_order_acquire)) break;
+    bool imm_pending = false;
     for (const auto& shard : shards_) {
-      if (shard->has_imm.load(std::memory_order_acquire)) return false;
+      if (shard->has_imm.load(std::memory_order_acquire)) {
+        imm_pending = true;
+        break;
+      }
     }
-    return true;
-  });
+    if (!imm_pending) break;
+    bg_cv_.Wait();
+  }
   return GetBackgroundError();
 }
 
 Status UniKVDB::CompactAll() {
   Status s = FlushMemTable();
   if (!s.ok()) return s;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   compact_all_++;
-  bg_work_cv_.notify_all();
-  bg_cv_.wait(lock, [this] {
-    return (!HasWorkPending() && bg_jobs_running_ == 0) ||
-           has_bg_error_.load(std::memory_order_acquire);
-  });
+  bg_work_cv_.SignalAll();
+  while (!((!HasWorkPending() && bg_jobs_running_ == 0) ||
+           has_bg_error_.load(std::memory_order_acquire))) {
+    bg_cv_.Wait();
+  }
   compact_all_--;
   return GetBackgroundError();
 }
@@ -279,7 +284,7 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, const VersionPtr& base,
     if (b.builder == nullptr) {
       uint64_t number;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         number = versions_->NewFileNumber();
         pending_outputs_.insert(number);
       }
@@ -326,7 +331,7 @@ Status UniKVDB::FlushMemTableToUnsorted(MemTable* mem, const VersionPtr& base,
   if (!s.ok()) {
     // Nothing installs: release the output numbers so RemoveObsoleteFiles
     // can sweep the partial files once the error state clears.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [pid, b] : builders) {
       (void)pid;
       pending_outputs_.erase(b.out.meta.number);
@@ -391,7 +396,7 @@ Status UniKVDB::CompactMemTable(size_t shard_idx) {
   WriteShard* shard = shards_[shard_idx].get();
   MemTable* mem;
   {
-    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    MutexLock shard_lock(&shard->mu);
     mem = shard->imm;
   }
   VersionPtr base = versions_->current();
@@ -411,7 +416,7 @@ Status UniKVDB::CompactMemTable(size_t shard_idx) {
   s = FlushMemTableToUnsorted(mem, base, &outputs);
   if (!s.ok()) return s;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   // A concurrent split may have moved partition boundaries while the
   // tables were building; an output routed by the old boundaries could
@@ -424,9 +429,9 @@ Status UniKVDB::CompactMemTable(size_t shard_idx) {
     }
     outputs.clear();
     base = versions_->current();
-    lock.unlock();
+    lock.Unlock();
     s = FlushMemTableToUnsorted(mem, base, &outputs);
-    lock.lock();
+    lock.Lock();
     if (!s.ok()) return s;
   }
 
@@ -441,7 +446,7 @@ Status UniKVDB::CompactMemTable(size_t shard_idx) {
   uint64_t min_wal = 0;
   for (size_t i = 0; i < shards_.size(); i++) {
     WriteShard* t = shards_[i].get();
-    std::lock_guard<std::mutex> tl(t->mu);
+    MutexLock tl(&t->mu);
     uint64_t n;
     if (i == shard_idx || t->imm == nullptr) {
       n = t->wal_number.load(std::memory_order_relaxed);
@@ -557,12 +562,12 @@ Status UniKVDB::CompactMemTable(size_t shard_idx) {
   if (s.ok()) {
     stats_.flushes++;
     {
-      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      MutexLock shard_lock(&shard->mu);
       shard->imm->Unref();
       shard->imm = nullptr;
       shard->has_imm.store(false, std::memory_order_release);
       shard->imm_wal_number.store(0, std::memory_order_relaxed);
-      shard->cv.notify_all();  // Stalled writers wait on the shard cv.
+      shard->cv.SignalAll();  // Stalled writers wait on the shard cv.
     }
 
     const uint64_t dur = env_->NowMicros() - start_us;
@@ -588,7 +593,7 @@ Status UniKVDB::CompactMemTable(size_t shard_idx) {
     ev.AddUint("output_tables", outputs.size());
     event_log_->Log("flush", &ev);
   }
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
   return s;
 }
 
@@ -623,7 +628,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
   std::unique_ptr<ValueLogWriter> vlog;
   uint64_t vlog_number = 0;
   if (separate) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     vlog_number = versions_->NewFileNumber();
     pending_outputs_.insert(vlog_number);
   }
@@ -632,7 +637,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     Status s =
         env_->NewWritableFile(ValueLogFileName(dbname_, vlog_number), &vfile);
     if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       pending_outputs_.erase(vlog_number);
       return s;
     }
@@ -668,7 +673,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
   auto open_output = [&]() -> Status {
     uint64_t number;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       number = versions_->NewFileNumber();
       pending_outputs_.insert(number);
     }
@@ -785,7 +790,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     }
   }
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const Output& out : outputs) pending_outputs_.erase(out.meta.number);
     if (separate) pending_outputs_.erase(vlog_number);
     return s;
@@ -808,7 +813,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
   }
   edit.SetIndexCheckpoint(pid, 0);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   // Re-validate the snapshot against the current version. The busy set
   // excludes other merges/GCs/splits on this partition, but flushes are
@@ -887,7 +892,7 @@ Status UniKVDB::MergePartition(std::shared_ptr<const PartitionState> p) {
     ev.AddUint("garbage_added", garbage_added);
     event_log_->Log("merge", &ev);
   }
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
   return s;
 }
 
@@ -914,14 +919,14 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
 
   uint64_t number;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     number = versions_->NewFileNumber();
     pending_outputs_.insert(number);
   }
   std::unique_ptr<WritableFile> file;
   Status s = env_->NewWritableFile(TableFileName(dbname_, number), &file);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_outputs_.erase(number);
     return s;
   }
@@ -957,7 +962,7 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
   if (s.ok()) s = file->Sync();
   if (s.ok()) s = file->Close();
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_outputs_.erase(number);
     return s;
   }
@@ -968,7 +973,7 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
   edit.AddUnsortedFile(pid, meta);
   edit.SetIndexCheckpoint(pid, 0);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   // Tables flushed into this partition while the job ran survive the edit
   // (removals are by number); the rebuilt index must cover them too.
@@ -1026,7 +1031,7 @@ Status UniKVDB::ScanMergePartition(std::shared_ptr<const PartitionState> p) {
     ev.AddUint("bytes_written", meta.size);
     event_log_->Log("scan_merge", &ev);
   }
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
   return s;
 }
 
@@ -1036,7 +1041,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   const uint64_t start_us = env_->NowMicros();
   const uint32_t pid = p->id;
   if (p->sorted.empty() || p->vlogs.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     vlog_garbage_[pid] = 0;
     return Status::OK();
   }
@@ -1044,7 +1049,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   // New value log for the rewritten live values.
   uint64_t vlog_number;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     vlog_number = versions_->NewFileNumber();
     pending_outputs_.insert(vlog_number);
   }
@@ -1052,7 +1057,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   Status s =
       env_->NewWritableFile(ValueLogFileName(dbname_, vlog_number), &vfile);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_outputs_.erase(vlog_number);
     return s;
   }
@@ -1090,7 +1095,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
   auto open_output = [&]() -> Status {
     uint64_t number;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       number = versions_->NewFileNumber();
       pending_outputs_.insert(number);
     }
@@ -1210,7 +1215,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
     bytes_written += vlog_size;
   }
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const FileMeta& f : outputs) pending_outputs_.erase(f.number);
     pending_outputs_.erase(vlog_number);
     if (builder != nullptr) builder->Abandon();
@@ -1231,7 +1236,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
     edit.AddValueLog(pid, v);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   // Re-validate: per-partition exclusivity means no other job can have
   // touched this partition's sorted run or value logs, but verify rather
@@ -1277,7 +1282,9 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
       }
       if (shared) continue;
       vlog_cache_->Evict(0, v.number);
-      env_->RemoveFile(ValueLogFileName(dbname_, v.number));
+      // Best-effort: a survivor costs disk until the next obsolete-file
+      // sweep retries it; GC itself already succeeded.
+      (void)env_->RemoveFile(ValueLogFileName(dbname_, v.number));
     }
   }
   s = versions_->LogAndApply(&edit);
@@ -1303,7 +1310,7 @@ Status UniKVDB::GcPartition(std::shared_ptr<const PartitionState> p) {
     ev.AddUint("vlog_bytes", vlog_size);
     event_log_->Log("gc", &ev);
   }
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
   return s;
 }
 
@@ -1318,7 +1325,7 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
   // PickWork saw may be stale by now (a flush can add unsorted tables at
   // any time, and those would straddle the boundary).
   const uint64_t start_us = env_->NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::shared_ptr<const PartitionState> cur_p =
       versions_->current()->FindById(p->id);
   if (cur_p == nullptr || !cur_p->unsorted.empty() ||
@@ -1383,7 +1390,7 @@ Status UniKVDB::SplitPartition(std::shared_ptr<const PartitionState> p) {
     ev.AddUint("tables_moved", p->sorted.size() - k);
     event_log_->Log("split", &ev);
   }
-  bg_cv_.notify_all();
+  bg_cv_.SignalAll();
   return s;
 }
 
@@ -1395,7 +1402,7 @@ void UniKVDB::RemoveObsoleteFiles() {
   uint64_t log_number, manifest_number;
   std::vector<std::string> children;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (has_bg_error_.load(std::memory_order_acquire)) {
       return;  // Unsure about state: keep everything.
     }
@@ -1446,7 +1453,8 @@ void UniKVDB::RemoveObsoleteFiles() {
       } else if (type == FileType::kValueLogFile) {
         vlog_cache_->Evict(0, number);
       }
-      env_->RemoveFile(dbname_ + "/" + child);
+      // Best-effort sweep; re-attempted on every pass.
+      (void)env_->RemoveFile(dbname_ + "/" + child);
       if (!removed.empty()) removed += ' ';
       removed += child;
     }

@@ -17,12 +17,17 @@ namespace unikv {
 void UniKVDB::StatsSamplerThread() {
   const auto interval =
       std::chrono::milliseconds(options_.stats_sample_interval_ms);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Baseline snapshot: the first logged interval reports deltas against
   // engine state at sampler start, not against zero.
   StatsSample prev = TakeStatsSampleLocked();
   while (!shutting_down_) {
-    sampler_cv_.wait_for(lock, interval, [this] { return shutting_down_; });
+    // Deadline loop: spurious wakeups re-wait for the remainder of the
+    // interval, and a shutdown signal ends the wait early.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!shutting_down_ && std::chrono::steady_clock::now() < deadline) {
+      sampler_cv_.TimedWaitUntil(deadline);
+    }
     if (shutting_down_) break;
     StatsSample cur = TakeStatsSampleLocked();
     stats_history_.push_back(cur);

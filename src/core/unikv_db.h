@@ -2,10 +2,8 @@
 #define UNIKV_CORE_UNIKV_DB_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -22,6 +20,7 @@
 #include "util/event_logger.h"
 #include "util/metrics.h"
 #include "util/perf_context.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 #include "vlog/value_log.h"
 #include "wal/log_writer.h"
@@ -184,29 +183,33 @@ class UniKVDB : public DB {
   /// contend. Lock order: mu_ (DB) -> mu (shard) -> log_mu (shard);
   /// err_mu_ is a leaf taken after any of them.
   struct WriteShard {
+    WriteShard() : cv(&mu) {}
+
     /// Guards the writer queue, memtable pointers, rotation, and the
     /// stall wait. Writers take this, never mu_.
-    std::mutex mu;
-    std::condition_variable cv;  // Queue-front handoff + stall wakeup.
+    Mutex mu;
+    CondVar cv;  // Queue-front handoff + stall wakeup.
 
-    MemTable* mem = nullptr;
-    MemTable* imm = nullptr;  // Non-null while a rotation awaits flush.
-    std::unique_ptr<WritableFile> wal_file;
-    std::unique_ptr<log::Writer> wal;
+    MemTable* mem GUARDED_BY(mu) = nullptr;
+    /// Non-null while a rotation awaits flush. Guarded by mu; the flush
+    /// worker additionally pins it (Ref under mu) before reading outside.
+    MemTable* imm GUARDED_BY(mu) = nullptr;
+    std::unique_ptr<WritableFile> wal_file GUARDED_BY(log_mu);
+    std::unique_ptr<log::Writer> wal GUARDED_BY(log_mu);
     /// Numbers of the active WAL and (while imm != nullptr) the retired
     /// WAL the imm's contents live in; 0 = no retired WAL. Atomics so the
     /// flush installer can compute the manifest log-number floor.
     std::atomic<uint64_t> wal_number{0};
     std::atomic<uint64_t> imm_wal_number{0};
 
-    std::deque<Writer*> writers;
-    WriteBatch scratch;  // Group-commit scratch batch.
+    std::deque<Writer*> writers GUARDED_BY(mu);
+    WriteBatch scratch;  // Group-commit scratch; only the group leader's.
 
     /// Serializes {sequence allocation, WAL append, own sync} as one
     /// critical section, and cross-shard syncs against rotation. Held by
     /// the group leader (inside mu) and, alone, by sync writers and the
-    /// flush installer syncing peer shards.
-    std::mutex log_mu;
+    /// flush installer syncing peer shards. Lock order: mu before log_mu.
+    Mutex log_mu;
     /// Lowest sequence the active WAL may hold unsynced: 0 = fully
     /// synced, kSeqAllocating = a group is mid-allocation (transient,
     /// nanoseconds). Published (seq_cst) BEFORE the group allocates its
@@ -229,7 +232,7 @@ class UniKVDB : public DB {
     std::atomic<uint64_t> stall_micros{0};
   };
 
-  Status Recover();
+  Status Recover() EXCLUDES(mu_);
   /// One WAL record (one group-committed batch) read back at recovery.
   struct WalBatch {
     SequenceNumber seq = 0;
@@ -255,15 +258,19 @@ class UniKVDB : public DB {
   /// `force`, rotates a non-empty memtable unconditionally — the manual
   /// FlushMemTable path. Only the shard's front writer calls this, so the
   /// WAL is never rotated under a concurrent same-shard AddRecord (the
-  /// swap itself happens under log_mu against cross-shard syncs).
-  Status MakeRoomForWrite(WriteShard* s, std::unique_lock<std::mutex>& lock,
-                          bool force);
-  WriteBatch* BuildBatchGroup(WriteShard* s, Writer** last_writer);
-  Status SwitchWal(WriteShard* s);
+  /// swap itself happens under log_mu against cross-shard syncs). Called
+  /// with s->mu held; stall waits block on the shard cv, which is bound
+  /// to s->mu, so the lock is released and re-taken inside the wait.
+  Status MakeRoomForWrite(WriteShard* s, bool force) REQUIRES(s->mu);
+  WriteBatch* BuildBatchGroup(WriteShard* s, Writer** last_writer)
+      REQUIRES(s->mu);
+  /// Rotates to a fresh WAL; takes s->log_mu itself for the swap. Must
+  /// run as the queue-front writer, hence REQUIRES(s->mu).
+  Status SwitchWal(WriteShard* s) REQUIRES(s->mu);
   /// The whole write path of one shard: queue, group commit, WAL append +
   /// sync, memtable insert, visibility publish.
   Status WriteToShard(WriteShard* s, const WriteOptions& options,
-                      WriteBatch* updates);
+                      WriteBatch* updates) EXCLUDES(mu_);
   /// Sentinel for WriteShard::first_unsynced_seq: a group has claimed
   /// the shard but not yet allocated its sequences, so its eventual
   /// sequences are unknown and must be assumed low.
@@ -283,7 +290,12 @@ class UniKVDB : public DB {
   /// the env call sequence deterministic for twin-run crash tests
   /// (whether a skip fires would otherwise depend on how background
   /// flushes race foreground writers).
-  Status SyncAllShardWals(uint64_t ceiling, bool force = false);
+  Status SyncAllShardWals(uint64_t ceiling, bool force = false)
+      EXCLUDES(sync_mu_);
+  /// One shard's share of a sync-all round: re-checks the watermark
+  /// under the lock, fsyncs, and clears the watermark on success.
+  Status SyncShardWalLocked(WriteShard* t, bool force, uint64_t target)
+      REQUIRES(t->log_mu);
 
   /// Uninstrumented bodies of Write/Scan; the public entry points wrap
   /// them with PerfContext accounting (one fold per op regardless of
@@ -320,7 +332,7 @@ class UniKVDB : public DB {
     int shard = -1;
   };
 
-  void MaybeScheduleWork();
+  void MaybeScheduleWork() REQUIRES(mu_);
 
   /// Body of one background worker thread. `options_.background_threads`
   /// of these run concurrently; each picks one schedulable job at a time
@@ -328,17 +340,18 @@ class UniKVDB : public DB {
   /// it with mu_ released. Jobs in different partitions proceed in
   /// parallel; jobs on the same partition — and concurrent flushes — are
   /// mutually exclusive.
-  void BackgroundWorker();
+  void BackgroundWorker() EXCLUDES(mu_);
 
   /// Next schedulable job: skips partitions in busy_partitions_ and the
-  /// flush when one is already in flight. Requires mu_ held.
-  WorkItem PickWork();
+  /// flush when one is already in flight.
+  WorkItem PickWork() REQUIRES(mu_);
 
   /// Whether *any* work remains (pending or currently running elsewhere's
   /// preconditions still hold) — the raw threshold check, ignoring the
-  /// busy set. CompactAll drains on this. Requires mu_ held.
-  bool HasWorkPending();
-  Status DispatchWork(const WorkItem& item);
+  /// busy set. CompactAll drains on this.
+  bool HasWorkPending() REQUIRES(mu_);
+  /// Runs one job start to finish; all I/O, so never under mu_.
+  Status DispatchWork(const WorkItem& item) EXCLUDES(mu_);
 
   struct FlushOutput {
     uint32_t pid = 0;
@@ -354,25 +367,30 @@ class UniKVDB : public DB {
   /// the then-current version (a concurrent split may have moved
   /// boundaries while the tables were being built).
   Status FlushMemTableToUnsorted(MemTable* mem, const VersionPtr& base,
-                                 std::vector<FlushOutput>* outputs);
+                                 std::vector<FlushOutput>* outputs)
+      EXCLUDES(mu_);
 
   /// True iff every output's [smallest, largest] still maps to the
-  /// partition it was built for in `ver`. Requires mu_ held.
+  /// partition it was built for in `ver`.
   bool RoutingStillValid(const VersionData& ver,
-                         const std::vector<FlushOutput>& outputs);
-  Status CompactMemTable(size_t shard_idx);
+                         const std::vector<FlushOutput>& outputs)
+      REQUIRES(mu_);
+  Status CompactMemTable(size_t shard_idx) EXCLUDES(mu_);
 
-  Status MergePartition(std::shared_ptr<const PartitionState> p);
-  Status ScanMergePartition(std::shared_ptr<const PartitionState> p);
-  Status GcPartition(std::shared_ptr<const PartitionState> p);
-  Status SplitPartition(std::shared_ptr<const PartitionState> p);
+  Status MergePartition(std::shared_ptr<const PartitionState> p)
+      EXCLUDES(mu_);
+  Status ScanMergePartition(std::shared_ptr<const PartitionState> p)
+      EXCLUDES(mu_);
+  Status GcPartition(std::shared_ptr<const PartitionState> p) EXCLUDES(mu_);
+  Status SplitPartition(std::shared_ptr<const PartitionState> p)
+      EXCLUDES(mu_);
 
-  void RemoveObsoleteFiles();
-  void RecordBackgroundError(const Status& s);
+  void RemoveObsoleteFiles() EXCLUDES(mu_);
+  void RecordBackgroundError(const Status& s) EXCLUDES(mu_, err_mu_);
 
-  /// Renders `db.metrics` / `db.metrics.json`. Requires mu_ held.
-  std::string MetricsTextLocked(const VersionData& ver);
-  std::string MetricsJsonLocked(const VersionData& ver);
+  /// Renders `db.metrics` / `db.metrics.json`.
+  std::string MetricsTextLocked(const VersionData& ver) REQUIRES(mu_);
+  std::string MetricsJsonLocked(const VersionData& ver) REQUIRES(mu_);
 
   // ---- StatsSampler (stats_sampler.cc) ----
 
@@ -404,14 +422,13 @@ class UniKVDB : public DB {
   /// Body of the sampler thread: every stats_sample_interval_ms, takes a
   /// snapshot under mu_, pushes it into the bounded history ring, and
   /// appends a `stats_sample` delta line to the EVENTS log.
-  void StatsSamplerThread();
-  StatsSample TakeStatsSampleLocked();
+  void StatsSamplerThread() EXCLUDES(mu_);
+  StatsSample TakeStatsSampleLocked() REQUIRES(mu_);
   /// Emits one `stats_sample` EVENTS line carrying both the interval
   /// deltas (d_*) and the cumulative values (cum_*) of `cur` vs `prev`.
   void LogStatsSample(const StatsSample& prev, const StatsSample& cur);
   /// Renders the history ring as a JSON array (db.stats.history).
-  /// Requires mu_ held.
-  std::string StatsHistoryJsonLocked() const;
+  std::string StatsHistoryJsonLocked() const REQUIRES(mu_);
 
   /// When `pin` is non-null, table lookups go through it so repeated
   /// probes of the same table within one batch reuse the pinned handle.
@@ -438,7 +455,7 @@ class UniKVDB : public DB {
   Status MultiGetImpl(const ReadOptions& options,
                       const std::vector<Slice>& keys,
                       std::vector<std::string>* values,
-                      std::vector<Status>* statuses);
+                      std::vector<Status>* statuses) EXCLUDES(mu_);
 
   /// Builds a merged internal iterator over memtables and all partitions;
   /// *latest_seq receives the snapshot sequence. FileMeta lists and the
@@ -448,14 +465,14 @@ class UniKVDB : public DB {
   /// tables contribute one anchor-guided child instead of one child per
   /// table (DESIGN.md §12).
   Iterator* NewInternalIterator(const ReadOptions& options,
-                                SequenceNumber* latest_seq);
+                                SequenceNumber* latest_seq) EXCLUDES(mu_);
 
   /// Replaces (or retires, view == nullptr) a partition's in-memory
   /// anchor view and keeps the anchor_view_bytes gauge in sync.
-  /// Requires mu_ held.
-  void InstallAnchorViewLocked(uint32_t pid, AnchorViewPtr view);
+  void InstallAnchorViewLocked(uint32_t pid, AnchorViewPtr view)
+      REQUIRES(mu_);
 
-  /// Install-path maintenance (requires mu_ held, like the survivor
+  /// Install-path maintenance (under mu_, like the survivor
   /// hash-index rebuild it mirrors): builds the post-install view for
   /// `pid` over `tables`, persists it, and records it in `edit`. With
   /// fewer than two tables the view is retired instead. `base` (optional)
@@ -466,12 +483,12 @@ class UniKVDB : public DB {
   void MaintainAnchorViewLocked(uint32_t pid,
                                 const std::vector<FileMeta>& tables,
                                 const AnchorView* base, const FileMeta* added,
-                                VersionEdit* edit);
+                                VersionEdit* edit) REQUIRES(mu_);
 
   /// Recovery: loads each partition's persisted view (validating coverage
   /// against the recovered unsorted set) and rebuilds missing or stale
   /// ones from the tables themselves.
-  Status RecoverAnchorViews();
+  Status RecoverAnchorViews() EXCLUDES(mu_);
 
   // ---- Immutable after Open ----
   Options options_;
@@ -515,55 +532,64 @@ class UniKVDB : public DB {
   /// re-check — so N concurrent sync writers trigger O(1) rounds, not N
   /// fsync storms. sync_mu_ guards only the flags; it is never held
   /// across an fsync or while acquiring any other lock.
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  bool sync_all_in_flight_ = false;    // Guarded by sync_mu_.
-  uint64_t synced_seq_floor_ = 0;      // Guarded by sync_mu_.
+  Mutex sync_mu_;
+  CondVar sync_cv_;
+  bool sync_all_in_flight_ GUARDED_BY(sync_mu_) = false;
+  uint64_t synced_seq_floor_ GUARDED_BY(sync_mu_) = 0;
 
   /// Leaf lock for the sticky background error. Writers check
   /// has_bg_error_ lock-free and only take err_mu_ to read the Status;
   /// nothing else is ever acquired while holding err_mu_.
-  std::mutex err_mu_;
-  Status bg_error_;  // Guarded by err_mu_ (not mu_).
+  Mutex err_mu_;
+  Status bg_error_ GUARDED_BY(err_mu_);
   std::atomic<bool> has_bg_error_{false};
 
   // ---- State guarded by mu_ ----
-  std::mutex mu_;
-  std::condition_variable bg_cv_;      // Signalled when bg work finishes.
-  std::condition_variable bg_work_cv_; // Wakes the background thread.
+  Mutex mu_;
+  CondVar bg_cv_;       // Signalled when bg work finishes.
+  CondVar bg_work_cv_;  // Wakes the background thread.
 
+  /// Not GUARDED_BY(mu_) on purpose: current()/NewFileNumber()/
+  /// LastSequence() are internally synchronized and intentionally called
+  /// without mu_ (read paths pin a version snapshot); the *mutating*
+  /// VersionSet methods (LogAndApply, SetLastSequence, ...) must be
+  /// called with mu_ held — a contract the install paths keep by
+  /// construction (every LogAndApply site sits in a REQUIRES(mu_) region).
   std::unique_ptr<VersionSet> versions_;
 
   // Mutable per-partition side state (not versioned).
-  std::unordered_map<uint32_t, std::shared_ptr<HashIndex>> indexes_;
+  std::unordered_map<uint32_t, std::shared_ptr<HashIndex>> indexes_
+      GUARDED_BY(mu_);
   /// Immutable per-partition anchor views (DESIGN.md §12). The map is
   /// guarded by mu_; the views themselves are immutable, so readers
   /// snapshot the shared_ptr under mu_ and use it lock-free.
-  std::unordered_map<uint32_t, AnchorViewPtr> anchor_views_;
-  std::unordered_map<uint32_t, uint64_t> vlog_garbage_;
-  std::unordered_map<uint32_t, int> flushes_since_checkpoint_;
-  std::unordered_map<uint32_t, PartitionCounters> partition_stats_;
+  std::unordered_map<uint32_t, AnchorViewPtr> anchor_views_ GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, uint64_t> vlog_garbage_ GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, int> flushes_since_checkpoint_
+      GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, PartitionCounters> partition_stats_
+      GUARDED_BY(mu_);
 
-  std::set<uint64_t> pending_outputs_;
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mu_);
 
   /// Background jobs currently executing across all workers. CompactAll,
   /// FlushMemTable, and the destructor drain on this reaching zero.
-  int bg_jobs_running_ = 0;
+  int bg_jobs_running_ GUARDED_BY(mu_) = 0;
   /// Partitions with a merge/scan-merge/GC/split in flight; PickWork
   /// skips them so same-partition jobs never overlap.
-  std::set<uint32_t> busy_partitions_;
+  std::set<uint32_t> busy_partitions_ GUARDED_BY(mu_);
 
-  bool shutting_down_ = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   /// Count of CompactAll callers currently draining; while nonzero the
   /// scheduler compacts below the usual thresholds.
-  int compact_all_ = 0;
-  UniKVStats stats_;
+  int compact_all_ GUARDED_BY(mu_) = 0;
+  UniKVStats stats_ GUARDED_BY(mu_);
 
   /// Bounded ring of sampler snapshots (newest at the back), capped at
   /// options_.stats_history_size. Empty when the sampler is off.
-  std::deque<StatsSample> stats_history_;
-  /// Wakes the sampler thread early on shutdown.
-  std::condition_variable sampler_cv_;
+  std::deque<StatsSample> stats_history_ GUARDED_BY(mu_);
+  /// Wakes the sampler thread early on shutdown (waits on mu_).
+  CondVar sampler_cv_;
 
   std::vector<std::thread> bg_threads_;
   /// Running only when options_.stats_sample_interval_ms > 0.

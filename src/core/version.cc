@@ -370,7 +370,8 @@ Status VersionSet::WriteSnapshot(log::Writer* log) {
   edit.SetLogNumber(log_number_);
   edit.SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
   edit.SetLastSequence(last_sequence_);
-  for (const auto& p : current_->partitions) {
+  const VersionPtr snap = current();
+  for (const auto& p : snap->partitions) {
     edit.AddPartition(p->id, p->lower_bound);
     for (const auto& f : p->unsorted) edit.AddUnsortedFile(p->id, f);
     for (const auto& f : p->sorted) edit.AddSortedFile(p->id, f);
@@ -393,9 +394,12 @@ Status VersionSet::CreateNew() {
   edit.AddPartition(0, "");
   edit.SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
   VersionPtr next;
-  Status s = Apply(edit, current_, &next);
+  Status s = Apply(edit, current(), &next);
   if (!s.ok()) return s;
-  current_ = std::move(next);
+  {
+    MutexLock l(&current_mu_);
+    current_ = std::move(next);
+  }
   next_partition_id_ = 1;
   return Status::OK();
 }
@@ -410,7 +414,9 @@ struct LogReporter : public log::Reader::Reporter {
 }  // namespace
 
 Status VersionSet::Recover(bool create_if_missing, bool error_if_exists) {
-  env_->CreateDir(dbname_);
+  // Usually exists already (DB::Open created it to take the lock file);
+  // a real failure surfaces on the manifest open below.
+  (void)env_->CreateDir(dbname_);
 
   const std::string current_name = CurrentFileName(dbname_);
   if (!env_->FileExists(current_name)) {
@@ -462,9 +468,12 @@ Status VersionSet::Recover(bool create_if_missing, bool error_if_exists) {
       s = edit.DecodeFrom(record);
       if (!s.ok()) return s;
       VersionPtr next;
-      s = Apply(edit, current_, &next);
+      s = Apply(edit, current(), &next);
       if (!s.ok()) return s;
-      current_ = std::move(next);
+      {
+        MutexLock l(&current_mu_);
+        current_ = std::move(next);
+      }
     }
     if (!replay_status.ok()) return replay_status;
   }
@@ -507,7 +516,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   edit->SetLastSequence(last_sequence_);
 
   VersionPtr next;
-  Status s = Apply(*edit, current_, &next);
+  Status s = Apply(*edit, current(), &next);
   if (!s.ok()) return s;
 
   std::string record;
@@ -518,10 +527,11 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   }
   if (!s.ok()) return s;
 
-  pinned_.push_back(current_);
   {
-    // Readers copy current_ without the DB mutex; guard the store.
-    std::lock_guard<std::mutex> l(current_mu_);
+    // Readers copy current_ without the DB mutex; guard the store (the
+    // outgoing version is pinned so live iterators keep their files).
+    MutexLock l(&current_mu_);
+    pinned_.push_back(current_);
     current_ = std::move(next);
   }
   // Prune dead weak pointers opportunistically.
@@ -534,7 +544,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
 }
 
 void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
-  current_->AddLiveFiles(live);
+  current()->AddLiveFiles(live);
   for (const auto& w : pinned_) {
     if (auto v = w.lock()) {
       v->AddLiveFiles(live);

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "core/options.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -212,8 +212,8 @@ class VersionSet {
   /// (synced), and installs the result as the new current version.
   Status LogAndApply(VersionEdit* edit);
 
-  VersionPtr current() const {
-    std::lock_guard<std::mutex> l(current_mu_);
+  VersionPtr current() const EXCLUDES(current_mu_) {
+    MutexLock l(&current_mu_);
     return current_;
   }
 
@@ -246,8 +246,8 @@ class VersionSet {
 
   /// Guards current_ against a racing LogAndApply install; held only for
   /// the shared_ptr load/store, never across I/O.
-  mutable std::mutex current_mu_;
-  VersionPtr current_;
+  mutable Mutex current_mu_;
+  VersionPtr current_ GUARDED_BY(current_mu_);
   std::vector<std::weak_ptr<const VersionData>> pinned_;
 
   std::unique_ptr<class WritableFile> manifest_file_;

@@ -3,9 +3,9 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "util/hash.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -120,30 +120,30 @@ class LRUCache {
   void Release(Cache::Handle* handle);
   void Erase(const Slice& key, uint32_t hash);
   size_t TotalCharge() const {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     return usage_;
   }
 
  private:
   void LRU_Remove(LRUHandle* e);
   void LRU_Append(LRUHandle* list, LRUHandle* e);
-  void Ref(LRUHandle* e);
-  void Unref(LRUHandle* e);
-  bool FinishErase(LRUHandle* e);
+  void Ref(LRUHandle* e) REQUIRES(mutex_);
+  void Unref(LRUHandle* e) REQUIRES(mutex_);
+  bool FinishErase(LRUHandle* e) REQUIRES(mutex_);
 
   size_t capacity_ = 0;
 
-  mutable std::mutex mutex_;
-  size_t usage_ = 0;
+  mutable Mutex mutex_;
+  size_t usage_ GUARDED_BY(mutex_) = 0;
 
   // Dummy head of LRU list: lru_.prev is the newest, lru_.next the oldest.
   // Entries have refs==1 and in_cache==true.
-  LRUHandle lru_;
+  LRUHandle lru_ GUARDED_BY(mutex_);
 
   // Dummy head of in-use list: entries in use by clients, refs >= 2.
-  LRUHandle in_use_;
+  LRUHandle in_use_ GUARDED_BY(mutex_);
 
-  HandleTable table_;
+  HandleTable table_ GUARDED_BY(mutex_);
 };
 
 LRUCache::LRUCache() {
@@ -154,6 +154,9 @@ LRUCache::LRUCache() {
 }
 
 LRUCache::~LRUCache() {
+  // Destruction is single-threaded by definition, but Unref requires the
+  // capability; taking it keeps the annotations honest at zero real cost.
+  MutexLock l(&mutex_);
   assert(in_use_.next == &in_use_);  // All handles must be released.
   for (LRUHandle* e = lru_.next; e != &lru_;) {
     LRUHandle* next = e->next;
@@ -201,7 +204,7 @@ void LRUCache::LRU_Append(LRUHandle* list, LRUHandle* e) {
 }
 
 Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   LRUHandle* e = table_.Lookup(key, hash);
   if (e != nullptr) {
     Ref(e);
@@ -210,7 +213,7 @@ Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
 }
 
 void LRUCache::Release(Cache::Handle* handle) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Unref(reinterpret_cast<LRUHandle*>(handle));
 }
 
@@ -218,7 +221,7 @@ Cache::Handle* LRUCache::Insert(const Slice& key, uint32_t hash, void* value,
                                 size_t charge,
                                 void (*deleter)(const Slice& key,
                                                 void* value)) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
 
   LRUHandle* e =
       reinterpret_cast<LRUHandle*>(malloc(sizeof(LRUHandle) - 1 + key.size()));
@@ -263,7 +266,7 @@ bool LRUCache::FinishErase(LRUHandle* e) {
 }
 
 void LRUCache::Erase(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   FinishErase(table_.Remove(key, hash));
 }
 
@@ -300,7 +303,7 @@ class ShardedLRUCache : public Cache {
     return reinterpret_cast<LRUHandle*>(handle)->value;
   }
   uint64_t NewId() override {
-    std::lock_guard<std::mutex> l(id_mutex_);
+    MutexLock l(&id_mutex_);
     return ++last_id_;
   }
   size_t TotalCharge() const override {
@@ -315,8 +318,8 @@ class ShardedLRUCache : public Cache {
   static uint32_t Shard(uint32_t hash) { return hash >> (32 - kNumShardBits); }
 
   LRUCache shard_[kNumShards];
-  std::mutex id_mutex_;
-  uint64_t last_id_;
+  Mutex id_mutex_;
+  uint64_t last_id_ GUARDED_BY(id_mutex_);
 };
 
 }  // namespace

@@ -1,7 +1,8 @@
 #include "util/env.h"
 
-#include <mutex>
 #include <set>
+
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -10,7 +11,7 @@ namespace {
 // In-process lock registry backing the default Env::LockFile: pathname
 // keyed, so two DB instances in one process exclude each other even on
 // Envs with no OS-level lock (MemEnv, wrappers over it).
-std::mutex g_locked_files_mu;
+Mutex g_locked_files_mu;
 std::set<std::string>& LockedFiles() {
   static std::set<std::string>* files = new std::set<std::string>();
   return *files;
@@ -30,7 +31,7 @@ class InProcessFileLock : public FileLock {
 Status Env::LockFile(const std::string& fname, FileLock** lock) {
   *lock = nullptr;
   {
-    std::lock_guard<std::mutex> l(g_locked_files_mu);
+    MutexLock l(&g_locked_files_mu);
     if (!LockedFiles().insert(fname).second) {
       return Status::IOError(fname, "lock already held");
     }
@@ -43,7 +44,7 @@ Status Env::UnlockFile(FileLock* lock) {
   if (lock == nullptr) return Status::OK();
   auto* held = static_cast<InProcessFileLock*>(lock);
   {
-    std::lock_guard<std::mutex> l(g_locked_files_mu);
+    MutexLock l(&g_locked_files_mu);
     LockedFiles().erase(held->name());
   }
   delete held;
@@ -182,9 +183,9 @@ Status RemoveDirRecursively(Env* env, const std::string& dir) {
     const std::string path = dir + "/" + child;
     uint64_t size;
     if (env->GetFileSize(path, &size).ok()) {
-      env->RemoveFile(path);
-    } else {
-      RemoveDirRecursively(env, path);
+      (void)env->RemoveFile(path);  // Best-effort recursive cleanup; the
+    } else {                        // final RemoveDir reports the truth.
+      (void)RemoveDirRecursively(env, path);
     }
   }
   return env->RemoveDir(dir);

@@ -1,8 +1,8 @@
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "util/env.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -83,7 +83,7 @@ class MemEnvImpl : public MemEnv {
  public:
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::NotFound(fname);
@@ -95,7 +95,7 @@ class MemEnvImpl : public MemEnv {
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::NotFound(fname);
@@ -106,7 +106,7 @@ class MemEnvImpl : public MemEnv {
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto file = std::make_shared<MemFile>();
     files_[fname] = file;
     result->reset(new MemWritableFile(std::move(file)));
@@ -115,7 +115,7 @@ class MemEnvImpl : public MemEnv {
 
   Status NewAppendableFile(const std::string& fname,
                            std::unique_ptr<WritableFile>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     std::shared_ptr<MemFile> file;
     if (it == files_.end()) {
@@ -129,13 +129,13 @@ class MemEnvImpl : public MemEnv {
   }
 
   bool FileExists(const std::string& fname) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     return files_.count(fname) > 0;
   }
 
   Status GetChildren(const std::string& dir,
                      std::vector<std::string>* result) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     result->clear();
     const std::string prefix = dir.back() == '/' ? dir : dir + "/";
     std::set<std::string> names;
@@ -156,7 +156,7 @@ class MemEnvImpl : public MemEnv {
   }
 
   Status RemoveFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     if (files_.erase(fname) == 0) {
       return Status::NotFound(fname);
     }
@@ -164,19 +164,19 @@ class MemEnvImpl : public MemEnv {
   }
 
   Status CreateDir(const std::string& dirname) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     dirs_.insert(dirname);
     return Status::OK();
   }
 
   Status RemoveDir(const std::string& dirname) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     dirs_.erase(dirname);
     return Status::OK();
   }
 
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       *size = 0;
@@ -188,7 +188,7 @@ class MemEnvImpl : public MemEnv {
 
   Status RenameFile(const std::string& src,
                     const std::string& target) override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     auto it = files_.find(src);
     if (it == files_.end()) {
       return Status::NotFound(src);
@@ -204,7 +204,7 @@ class MemEnvImpl : public MemEnv {
   }
 
   void DropUnsyncedData() override {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     for (auto it = files_.begin(); it != files_.end();) {
       MemFile* f = it->second.get();
       if (f->synced_size == 0) {
@@ -218,9 +218,9 @@ class MemEnvImpl : public MemEnv {
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<MemFile>> files_;
-  std::set<std::string> dirs_;
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_ GUARDED_BY(mu_);
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
 };
 
 }  // namespace

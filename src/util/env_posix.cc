@@ -10,11 +10,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/env.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -82,7 +82,7 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   }
 
   bool ReadZeroCopy(uint64_t offset, size_t n, Slice* result) const override {
-    std::lock_guard<std::mutex> l(map_mu_);
+    MutexLock l(&map_mu_);
     if (map_ == nullptr || offset + n > map_len_) {
       // (Re)map lazily at the file's current size. An earlier, shorter
       // mapping may still back live Slices, so it is retired — kept until
@@ -116,10 +116,14 @@ class PosixRandomAccessFile final : public RandomAccessFile {
  private:
   const int fd_;
   const std::string filename_;
-  mutable std::mutex map_mu_;
-  mutable const char* map_ = nullptr;  // Current (longest) mapping.
-  mutable uint64_t map_len_ = 0;
-  mutable std::vector<std::pair<void*, size_t>> mappings_;  // All, for dtor.
+  mutable Mutex map_mu_;
+  // Current (longest) mapping.
+  mutable const char* map_ GUARDED_BY(map_mu_) = nullptr;
+  mutable uint64_t map_len_ GUARDED_BY(map_mu_) = 0;
+  // All mappings ever made, for the destructor (old ones may still back
+  // live Slices). The dtor reads this without map_mu_: no concurrent
+  // readers can exist once destruction starts.
+  mutable std::vector<std::pair<void*, size_t>> mappings_;
 };
 
 constexpr size_t kWritableFileBufferSize = 65536;
@@ -131,7 +135,9 @@ class PosixWritableFile final : public WritableFile {
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      Close();
+      // Destructor: nowhere to report. Callers that care about the final
+      // flush call Close() themselves and check it.
+      (void)Close();
     }
   }
 

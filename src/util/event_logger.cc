@@ -6,9 +6,9 @@ EventLogger::EventLogger(Env* env, std::string dir, uint64_t max_bytes)
     : env_(env), dir_(std::move(dir)), max_bytes_(max_bytes) {}
 
 EventLogger::~EventLogger() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr) {
-    file_->Close();
+    (void)file_->Close();  // Destructor: the log is best-effort.
   }
 }
 
@@ -16,7 +16,7 @@ void EventLogger::Log(const Slice& event_name, JsonBuilder* event) {
   event->AddString("event", event_name);
   std::string line;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (disabled_) return;
     if (!opened_) {
       opened_ = true;
@@ -38,7 +38,9 @@ void EventLogger::Log(const Slice& event_name, JsonBuilder* event) {
       // Rotate: the finished file becomes EVENTS.old (replacing any prior
       // rotation) and the new line starts a fresh EVENTS. A rotation
       // failure disables the logger, same as any other logging failure.
-      file_->Close();
+      // A close failure can only truncate the tail of the *retiring*
+      // file; the logger is best-effort by contract.
+      (void)file_->Close();
       file_.reset();
       Status s =
           env_->RenameFile(dir_ + "/" + kFileName, dir_ + "/" + kOldFileName);
@@ -54,7 +56,7 @@ void EventLogger::Log(const Slice& event_name, JsonBuilder* event) {
     bytes_ += line.size();
     if (!file_->Append(line).ok() || !file_->Flush().ok()) {
       disabled_ = true;
-      file_->Close();
+      (void)file_->Close();  // Already failing; disable and move on.
       file_.reset();
     }
   }

@@ -2,11 +2,11 @@
 #define UNIKV_UTIL_EVENT_LOGGER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/env.h"
 #include "util/metrics.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -41,8 +41,8 @@ class EventLogger {
   void Log(const Slice& event_name, JsonBuilder* event);
 
   /// True once logging has permanently failed (or before the first Log).
-  bool disabled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool disabled() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return disabled_;
   }
 
@@ -50,11 +50,12 @@ class EventLogger {
   Env* const env_;
   const std::string dir_;
   const uint64_t max_bytes_;
-  mutable std::mutex mu_;
-  bool opened_ = false;
-  bool disabled_ = false;
-  uint64_t bytes_ = 0;  // Size of the current EVENTS file.
-  std::unique_ptr<WritableFile> file_;
+  mutable Mutex mu_;
+  bool opened_ GUARDED_BY(mu_) = false;
+  bool disabled_ GUARDED_BY(mu_) = false;
+  // Size of the current EVENTS file.
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<WritableFile> file_ GUARDED_BY(mu_);
 };
 
 }  // namespace unikv

@@ -47,7 +47,7 @@ class FaultWritableFile : public WritableFile {
     Status s = env_->CheckMutatingCall(FaultOp::kAppend, fname_, true);
     if (s.ok()) s = base_->Append(data);
     if (s.ok()) {
-      std::lock_guard<std::mutex> lock(env_->mu_);
+      MutexLock lock(&env_->mu_);
       env_->files_[fname_].size += data.size();
     }
     return s;
@@ -65,7 +65,7 @@ class FaultWritableFile : public WritableFile {
     Status s = env_->CheckMutatingCall(FaultOp::kSync, fname_, true);
     if (s.ok()) s = base_->Sync();
     if (s.ok()) {
-      std::lock_guard<std::mutex> lock(env_->mu_);
+      MutexLock lock(&env_->mu_);
       FaultInjectionEnv::FileState& st = env_->files_[fname_];
       st.synced_size = st.size;
       st.ever_synced = true;
@@ -93,57 +93,57 @@ FaultInjectionEnv::~FaultInjectionEnv() = default;
 
 void FaultInjectionEnv::FailAt(FaultOp op, const std::string& pattern,
                                uint64_t nth, bool sticky) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.push_back(FaultRule{op, pattern, nth, sticky, /*crash=*/false});
 }
 
 void FaultInjectionEnv::CrashAt(FaultOp op, const std::string& pattern,
                                 uint64_t nth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.push_back(
       FaultRule{op, pattern, nth, /*sticky=*/false, /*crash=*/true});
 }
 
 void FaultInjectionEnv::CrashAtCallIndex(uint64_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_at_index_ = index;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
   crash_at_index_ = UINT64_MAX;
 }
 
 uint64_t FaultInjectionEnv::CallCount(FaultOp op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return op_counts_[static_cast<int>(op)];
 }
 
 uint64_t FaultInjectionEnv::TotalMutatingCalls() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_calls_;
 }
 
 void FaultInjectionEnv::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   total_calls_ = 0;
   for (uint64_t& c : op_counts_) c = 0;
   trace_.clear();
 }
 
 void FaultInjectionEnv::EnableTrace(bool enable) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   trace_enabled_ = enable;
 }
 
 std::vector<FaultInjectionEnv::CallRecord> FaultInjectionEnv::Trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return trace_;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
@@ -152,7 +152,7 @@ void FaultInjectionEnv::TriggerCrashLocked() { crashed_ = true; }
 Status FaultInjectionEnv::CheckMutatingCall(FaultOp op,
                                             const std::string& fname,
                                             bool counted) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) {
     return Status::IOError(fname, "simulated crash: filesystem is frozen");
   }
@@ -223,7 +223,7 @@ Status FaultInjectionEnv::WriteStringToFile(const std::string& fname,
 }
 
 Status FaultInjectionEnv::RecoverAfterCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status result;
   auto note = [&result](const Status& s) {
     if (result.ok() && !s.ok()) result = s;
@@ -241,7 +241,7 @@ Status FaultInjectionEnv::RecoverAfterCrash() {
     if (rit->had_target) {
       note(WriteStringToFile(rit->to, rit->target_content));
     } else {
-      base_->RemoveFile(rit->to);  // May already be gone; ignore.
+      (void)base_->RemoveFile(rit->to);  // May already be gone; ignore.
     }
     files_.erase(rit->to);
     if (rit->target_tracked) files_[rit->to] = rit->target_state;
@@ -257,7 +257,7 @@ Status FaultInjectionEnv::RecoverAfterCrash() {
     const std::string& fname = it->first;
     FileState& st = it->second;
     if (!st.ever_synced) {
-      base_->RemoveFile(fname);  // Ignore NotFound.
+      (void)base_->RemoveFile(fname);  // Ignore NotFound.
       it = files_.erase(it);
       continue;
     }
@@ -293,7 +293,7 @@ Status FaultInjectionEnv::NewWritableFile(
   s = base_->NewWritableFile(fname, &base_file);
   if (!s.ok()) return s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Recreation truncates: the shadow starts fresh, and like any new file
     // it survives a crash only once synced.
     files_[fname] = FileState{};
@@ -310,12 +310,12 @@ Status FaultInjectionEnv::NewAppendableFile(
   // treated as fully durable at its current size.
   bool pre_existing = base_->FileExists(fname);
   uint64_t pre_size = 0;
-  if (pre_existing) base_->GetFileSize(fname, &pre_size);
+  if (pre_existing) (void)base_->GetFileSize(fname, &pre_size);  // 0 if unknowable.
   std::unique_ptr<WritableFile> base_file;
   s = base_->NewAppendableFile(fname, &base_file);
   if (!s.ok()) return s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (files_.find(fname) == files_.end()) {
       FileState st;
       if (pre_existing) {
@@ -344,7 +344,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
   if (!s.ok()) return s;
   s = base_->RemoveFile(fname);
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_.erase(fname);
     // A removed file can no longer participate in rename rollback.
     for (auto it = rename_journal_.begin(); it != rename_journal_.end();) {
@@ -362,7 +362,7 @@ Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
   // Directory creation/removal is not an enumerated fault point (it happens
   // once per DB lifetime), but a frozen filesystem still rejects it.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) {
       return Status::IOError(dirname, "simulated crash: filesystem is frozen");
     }
@@ -372,7 +372,7 @@ Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
 
 Status FaultInjectionEnv::RemoveDir(const std::string& dirname) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (crashed_) {
       return Status::IOError(dirname, "simulated crash: filesystem is frozen");
     }
@@ -401,7 +401,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
   }
   s = base_->RenameFile(src, target);
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto from_it = files_.find(src);
   rec.from_tracked = from_it != files_.end();
   if (rec.from_tracked) rec.from_state = from_it->second;
@@ -423,7 +423,7 @@ Status FaultInjectionEnv::SyncDir(const std::string& dirname) {
   if (!s.ok()) return s;
   s = base_->SyncDir(dirname);
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Renames inside this directory are now durable.
     for (auto it = rename_journal_.begin(); it != rename_journal_.end();) {
       if (DirOf(it->to) == dirname) {

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/env.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -187,7 +187,7 @@ class FaultInjectionEnv : public Env {
   /// and evaluates armed rules. Returns non-OK if the call must fail
   /// without reaching the base Env. `counted` is false for Flush.
   Status CheckMutatingCall(FaultOp op, const std::string& fname, bool counted);
-  void TriggerCrashLocked();
+  void TriggerCrashLocked() REQUIRES(mu_);
   static std::string DirOf(const std::string& fname);
   Status ReadFileToString(const std::string& fname, uint64_t limit,
                           std::string* out);
@@ -195,16 +195,16 @@ class FaultInjectionEnv : public Env {
 
   Env* const base_;
 
-  mutable std::mutex mu_;
-  bool crashed_ = false;
-  bool trace_enabled_ = false;
-  uint64_t total_calls_ = 0;
-  uint64_t crash_at_index_ = UINT64_MAX;
-  uint64_t op_counts_[static_cast<int>(FaultOp::kNumOps)] = {};
-  std::vector<FaultRule> rules_;
-  std::vector<CallRecord> trace_;
-  std::map<std::string, FileState> files_;
-  std::vector<RenameRecord> rename_journal_;
+  mutable Mutex mu_;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  bool trace_enabled_ GUARDED_BY(mu_) = false;
+  uint64_t total_calls_ GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_index_ GUARDED_BY(mu_) = UINT64_MAX;
+  uint64_t op_counts_[static_cast<int>(FaultOp::kNumOps)] GUARDED_BY(mu_) = {};
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  std::vector<CallRecord> trace_ GUARDED_BY(mu_);
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
+  std::vector<RenameRecord> rename_journal_ GUARDED_BY(mu_);
 };
 
 }  // namespace unikv

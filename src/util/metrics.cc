@@ -204,33 +204,33 @@ std::string JsonBuilder::Finish() {
 // -------------------------------------------------------- MetricsRegistry
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 ConcurrentHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<ConcurrentHistogram>();
   return slot.get();
 }
 
 size_t MetricsRegistry::NumCounters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_.size();
 }
 
 std::string MetricsRegistry::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   char buf[256];
   for (const auto& [name, c] : counters_) {
@@ -258,7 +258,7 @@ std::string MetricsRegistry::ToString() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   JsonBuilder counters;
   for (const auto& [name, c] : counters_) {
     counters.AddUint(name, c->Value());

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/histogram.h"
 #include "util/slice.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -130,10 +130,14 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<ConcurrentHistogram>> histograms_;
+  // mu_ guards the name->metric maps only; the Counter/Gauge/Histogram
+  // objects they own are internally synchronized (lock-free atomics) and
+  // are handed out as raw pointers that outlive the lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ConcurrentHistogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace unikv

@@ -11,7 +11,12 @@ namespace unikv {
 /// Status represents success or one of several classes of error, with an
 /// attached human-readable message. It is returned by most operations that
 /// can fail; exceptions are not used on hot paths.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status is how write
+/// errors turn into data loss, so every call site must either check the
+/// result or cast it to void with a comment saying why ignoring it is
+/// sound.
+class [[nodiscard]] Status {
  public:
   Status() : code_(kOk) {}
 

@@ -1,0 +1,169 @@
+#ifndef UNIKV_UTIL_SYNC_H_
+#define UNIKV_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Clang Thread Safety Analysis (DESIGN.md §13).
+//
+// The macros below expand to clang's capability attributes when the
+// compiler supports them and to nothing everywhere else, so annotated
+// code builds identically under gcc. Under clang with -Wthread-safety
+// (the UNIKV_ANALYZE=ON build, enforced by scripts/check_static.sh) the
+// locking contracts they express — which mutex guards which field, which
+// methods require or exclude a lock — become compile errors instead of
+// prose in DESIGN.md.
+//
+// Every mutex in the engine must be a unikv::Mutex from this header; raw
+// std::mutex / std::lock_guard / std::unique_lock are rejected by the
+// raw-mutex lint in scripts/check_static.sh (tier-1) because the analysis
+// cannot see through unannotated wrappers.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define UNIKV_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef UNIKV_THREAD_ANNOTATION
+#define UNIKV_THREAD_ANNOTATION(x)  // Not clang: compiles away.
+#endif
+
+// A type that acts as a lock (unikv::Mutex below).
+#define CAPABILITY(x) UNIKV_THREAD_ANNOTATION(capability(x))
+// An RAII type whose lifetime equals a critical section (MutexLock).
+#define SCOPED_CAPABILITY UNIKV_THREAD_ANNOTATION(scoped_lockable)
+
+// Field annotations: the named mutex must be held to touch the field
+// (GUARDED_BY) or the data it points to (PT_GUARDED_BY).
+#define GUARDED_BY(x) UNIKV_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) UNIKV_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function contracts: caller must hold the capability (REQUIRES), must
+// NOT hold it (EXCLUDES — e.g. "no I/O under mu_"), or the function
+// itself acquires/releases it (ACQUIRE/RELEASE, TRY_ACQUIRE).
+#define REQUIRES(...) UNIKV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  UNIKV_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) UNIKV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ACQUIRE(...) UNIKV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) UNIKV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  UNIKV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) UNIKV_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) UNIKV_THREAD_ANNOTATION(lock_returned(x))
+#define ACQUIRED_BEFORE(...) \
+  UNIKV_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) UNIKV_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Escape hatch for flow the analysis cannot follow (e.g. a lock handed
+// across threads). Every use must carry a comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  UNIKV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace unikv {
+
+class CondVar;
+
+/// A std::mutex the analysis can see: Lock/Unlock are annotated, and
+/// AssertHeld() documents (and, under clang, *checks*) "caller must hold
+/// this" at the top of internal helpers.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// No-op at runtime; under analysis, asserts the capability is held.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Condition variable bound to one Mutex for its lifetime. Callers must
+/// hold that mutex around Wait()/TimedWait* (exactly as with
+/// std::condition_variable); predicates become explicit while-loops:
+///
+///   while (!ready_) cv_.Wait();
+///
+/// Wait() releases and reacquires the bound mutex, so from the analysis'
+/// point of view the lock set is unchanged across the call.
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Waits until signalled or `timeout` elapses (lost-wakeup-window
+  /// bounding, as the background workers use it). Returns true if
+  /// signalled before the deadline.
+  template <class Rep, class Period>
+  bool TimedWaitFor(const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    const bool signalled = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return signalled;
+  }
+
+  /// Waits until signalled or the deadline passes.
+  template <class Clock, class Duration>
+  void TimedWaitUntil(const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait_until(lock, deadline);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+/// Scoped critical section. Relockable: Unlock()/Lock() support the
+/// drop-the-lock-around-I/O pattern the install paths use, and the
+/// destructor releases only if held — all visible to the analysis
+/// (clang models re-acquirable scoped capabilities).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily leave the critical section (e.g. for I/O).
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+  /// Re-enter it.
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+}  // namespace unikv
+
+#endif  // UNIKV_UTIL_SYNC_H_

@@ -2,7 +2,7 @@
 
 namespace unikv {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads) : work_cv_(&mu_), idle_cv_(&mu_) {
   if (num_threads < 1) num_threads = 1;
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; i++) {
@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     shutting_down_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -23,10 +23,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 void ThreadPool::Schedule(TaskGroup* group, std::function<void()> task) {
@@ -40,26 +40,26 @@ void ThreadPool::Schedule(TaskGroup* group, std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> l(mu_);
-  idle_cv_.wait(l, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock l(&mu_);
+  while (!(queue_.empty() && active_ == 0)) idle_cv_.Wait();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   while (true) {
-    work_cv_.wait(l, [this] { return shutting_down_ || !queue_.empty(); });
+    while (!(shutting_down_ || !queue_.empty())) work_cv_.Wait();
     if (shutting_down_ && queue_.empty()) {
       return;
     }
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     active_++;
-    l.unlock();
+    l.Unlock();
     task();
-    l.lock();
+    l.Lock();
     active_--;
     if (queue_.empty() && active_ == 0) {
-      idle_cv_.notify_all();
+      idle_cv_.SignalAll();
     }
   }
 }

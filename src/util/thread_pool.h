@@ -1,12 +1,12 @@
 #ifndef UNIKV_UTIL_THREAD_POOL_H_
 #define UNIKV_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -28,31 +28,31 @@ class ThreadPool {
   /// task scheduled through it.
   class TaskGroup {
    public:
-    TaskGroup() = default;
+    TaskGroup() : done_cv_(&mu_) {}
     TaskGroup(const TaskGroup&) = delete;
     TaskGroup& operator=(const TaskGroup&) = delete;
 
     /// Blocks until every task scheduled through this group has finished.
-    void Wait() {
-      std::unique_lock<std::mutex> l(mu_);
-      done_cv_.wait(l, [this] { return pending_ == 0; });
+    void Wait() EXCLUDES(mu_) {
+      MutexLock l(&mu_);
+      while (pending_ != 0) done_cv_.Wait();
     }
 
    private:
     friend class ThreadPool;
 
-    void TaskStarted() {
-      std::lock_guard<std::mutex> l(mu_);
+    void TaskStarted() EXCLUDES(mu_) {
+      MutexLock l(&mu_);
       pending_++;
     }
-    void TaskFinished() {
-      std::lock_guard<std::mutex> l(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
+    void TaskFinished() EXCLUDES(mu_) {
+      MutexLock l(&mu_);
+      if (--pending_ == 0) done_cv_.SignalAll();
     }
 
-    std::mutex mu_;
-    std::condition_variable done_cv_;
-    int pending_ = 0;
+    Mutex mu_;
+    CondVar done_cv_;
+    int pending_ GUARDED_BY(mu_) = 0;
   };
 
   explicit ThreadPool(int num_threads);
@@ -62,29 +62,29 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; wakes a sleeping worker.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) EXCLUDES(mu_);
 
   /// Enqueues a task attributed to `group`; the group's Wait() returns
   /// only after the task finishes (or the pool destructor drains it).
-  void Schedule(TaskGroup* group, std::function<void()> task);
+  void Schedule(TaskGroup* group, std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and all in-flight tasks finished.
   /// Waits on the *whole pool*: a concurrent caller's tasks delay this
   /// return. Prefer TaskGroup for per-request completion.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  int active_ = 0;
-  bool shutting_down_ = false;
+  int active_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace unikv

@@ -70,7 +70,7 @@ ValueLogCache::ValueLogCache(Env* env, std::string dbname)
 
 Status ValueLogCache::GetFile(const ValuePointer& ptr,
                               std::shared_ptr<RandomAccessFile>* file) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   auto it = files_.find(ptr.log_number);
   if (it != files_.end()) {
     *file = it->second;
@@ -175,7 +175,7 @@ void ValueLogCache::Readahead(const ValuePointer& ptr, size_t bytes) {
 }
 
 void ValueLogCache::Evict(uint32_t /*partition*/, uint64_t log_number) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(&mu_);
   files_.erase(log_number);
 }
 

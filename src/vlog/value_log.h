@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -12,6 +11,7 @@
 #include "util/metrics.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace unikv {
 
@@ -134,8 +134,12 @@ class ValueLogCache {
   Counter* span_reads_counter_ = nullptr;
   Counter* mmap_reads_counter_ = nullptr;
   Counter* read_bytes_counter_ = nullptr;
-  std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<RandomAccessFile>> files_;
+  // mu_ guards the handle map. Held across the open syscall in GetFile
+  // (first access to a log serializes openers); reads through a handle
+  // never take it.
+  Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<RandomAccessFile>> files_
+      GUARDED_BY(mu_);
 };
 
 /// Sequentially scans a value log file, invoking `fn(offset, record_size,

@@ -260,7 +260,9 @@ TEST(BenchSmokeTest, ScanSchemaV4Holds) {
     ASSERT_TRUE(bdb.db()
                     ->Put(WriteOptions(), KeyGenerator::Key(id), "refill")
                     .ok());
-    if (i % 300 == 299) ASSERT_TRUE(bdb.db()->FlushMemTable().ok());
+    if (i % 300 == 299) {
+      ASSERT_TRUE(bdb.db()->FlushMemTable().ok());
+    }
   }
 
   ScanSpec scan;

@@ -16,7 +16,8 @@ namespace {
 
 int CountFiles(const std::string& dir, FileType want) {
   std::vector<std::string> children;
-  Env::Default()->GetChildren(dir, &children);
+  // Empty-on-failure: a zero file count fails the caller's assertion.
+  (void)Env::Default()->GetChildren(dir, &children);
   int n = 0;
   for (const std::string& child : children) {
     uint64_t number;

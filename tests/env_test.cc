@@ -22,7 +22,7 @@ class EnvKindTest : public testing::TestWithParam<int> {
       mem_env_.reset(NewMemEnv());
       env_ = mem_env_.get();
       dir_ = "/mem";
-      env_->CreateDir(dir_);
+      ASSERT_TRUE(env_->CreateDir(dir_).ok());
     }
   }
 
@@ -98,8 +98,8 @@ TEST_P(EnvKindTest, FileOps) {
   const std::string a = dir_ + "/a", b = dir_ + "/b";
   std::unique_ptr<WritableFile> w;
   ASSERT_TRUE(env_->NewWritableFile(a, &w).ok());
-  w->Append("x");
-  w->Close();
+  ASSERT_TRUE(w->Append("x").ok());
+  ASSERT_TRUE(w->Close().ok());
   EXPECT_TRUE(env_->FileExists(a));
   EXPECT_FALSE(env_->FileExists(b));
   ASSERT_TRUE(env_->RenameFile(a, b).ok());
@@ -129,19 +129,19 @@ INSTANTIATE_TEST_SUITE_P(PosixAndMem, EnvKindTest, testing::Range(0, 2));
 
 TEST(MemEnv, DropUnsyncedDataSimulatesPowerLoss) {
   std::unique_ptr<MemEnv> env(NewMemEnv());
-  env->CreateDir("/db");
+  ASSERT_TRUE(env->CreateDir("/db").ok());
 
   // File A: partially synced.
   std::unique_ptr<WritableFile> a;
   ASSERT_TRUE(env->NewWritableFile("/db/a", &a).ok());
-  a->Append("durable");
+  ASSERT_TRUE(a->Append("durable").ok());
   ASSERT_TRUE(a->Sync().ok());
-  a->Append("-volatile");
+  ASSERT_TRUE(a->Append("-volatile").ok());
 
   // File B: never synced.
   std::unique_ptr<WritableFile> b;
   ASSERT_TRUE(env->NewWritableFile("/db/b", &b).ok());
-  b->Append("gone");
+  ASSERT_TRUE(b->Append("gone").ok());
 
   env->DropUnsyncedData();
 
@@ -154,13 +154,13 @@ TEST(MemEnv, DropUnsyncedDataSimulatesPowerLoss) {
 TEST(InstrumentedEnv, CountsBytes) {
   std::unique_ptr<MemEnv> base(NewMemEnv());
   InstrumentedEnv env(base.get());
-  env.CreateDir("/d");
+  ASSERT_TRUE(env.CreateDir("/d").ok());
 
   std::unique_ptr<WritableFile> w;
   ASSERT_TRUE(env.NewWritableFile("/d/f", &w).ok());
-  w->Append("0123456789");
-  w->Sync();
-  w->Close();
+  ASSERT_TRUE(w->Append("0123456789").ok());
+  ASSERT_TRUE(w->Sync().ok());
+  ASSERT_TRUE(w->Close().ok());
   EXPECT_EQ(10u, env.stats()->bytes_written.load());
   EXPECT_EQ(1u, env.stats()->syncs.load());
 
@@ -168,7 +168,7 @@ TEST(InstrumentedEnv, CountsBytes) {
   ASSERT_TRUE(env.NewRandomAccessFile("/d/f", &r).ok());
   char scratch[16];
   Slice result;
-  r->Read(0, 4, &result, scratch);
+  ASSERT_TRUE(r->Read(0, 4, &result, scratch).ok());
   EXPECT_EQ(4u, env.stats()->bytes_read.load());
 
   env.stats()->Reset();
@@ -177,13 +177,13 @@ TEST(InstrumentedEnv, CountsBytes) {
 
 TEST(EnvUtil, RemoveDirRecursively) {
   std::unique_ptr<MemEnv> env(NewMemEnv());
-  env->CreateDir("/top");
-  env->CreateDir("/top/sub");
+  ASSERT_TRUE(env->CreateDir("/top").ok());
+  ASSERT_TRUE(env->CreateDir("/top/sub").ok());
   std::unique_ptr<WritableFile> w;
-  env->NewWritableFile("/top/f1", &w);
-  w->Close();
-  env->NewWritableFile("/top/sub/f2", &w);
-  w->Close();
+  ASSERT_TRUE(env->NewWritableFile("/top/f1", &w).ok());
+  ASSERT_TRUE(w->Close().ok());
+  ASSERT_TRUE(env->NewWritableFile("/top/sub/f2", &w).ok());
+  ASSERT_TRUE(w->Close().ok());
   ASSERT_TRUE(RemoveDirRecursively(env.get(), "/top").ok());
   EXPECT_FALSE(env->FileExists("/top/f1"));
   EXPECT_FALSE(env->FileExists("/top/sub/f2"));

@@ -4,8 +4,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 namespace unikv {
@@ -111,16 +109,16 @@ TEST(ThreadPool, WaitOnEmptyGroupReturnsImmediately) {
 TEST(ThreadPool, GroupWaitIgnoresOtherCallersTasks) {
   ThreadPool pool(2);
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool release_slow = false;
+  Mutex mu;
+  CondVar cv(&mu);
+  bool release_slow GUARDED_BY(mu) = false;
   std::atomic<bool> slow_running{false};
 
   ThreadPool::TaskGroup slow_group;
   pool.Schedule(&slow_group, [&] {
     slow_running.store(true);
-    std::unique_lock<std::mutex> l(mu);
-    cv.wait(l, [&] { return release_slow; });
+    MutexLock l(&mu);
+    while (!release_slow) cv.Wait();
   });
   while (!slow_running.load()) {
     std::this_thread::yield();
@@ -137,10 +135,10 @@ TEST(ThreadPool, GroupWaitIgnoresOtherCallersTasks) {
   EXPECT_TRUE(slow_running.load());
 
   {
-    std::lock_guard<std::mutex> l(mu);
+    MutexLock l(&mu);
     release_slow = true;
   }
-  cv.notify_all();
+  cv.SignalAll();
   slow_group.Wait();
 }
 

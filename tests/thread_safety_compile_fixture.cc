@@ -1,0 +1,81 @@
+// Negative-compile fixture for the thread-safety annotations in
+// util/sync.h. Driven by tests/thread_safety_compile_test.sh, which
+// compiles this file once per UNIKV_TSA_VIOLATION value with
+// `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety` and
+// asserts that value 0 (no violation) compiles while every violation
+// class fails. This proves the gate actually rejects the bug classes it
+// claims to — an annotation set that silently stopped checking would
+// break this harness, not just stop reporting.
+//
+// Violation classes:
+//   1  read of a GUARDED_BY field without holding its mutex
+//   2  call of a REQUIRES(mu) function without holding mu
+//   3  returning with a manually-acquired Mutex still held
+//   4  calling an EXCLUDES(mu) function while holding mu
+//   5  unlocking a mutex that is not held (double release)
+
+#include "util/sync.h"
+
+#ifndef UNIKV_TSA_VIOLATION
+#define UNIKV_TSA_VIOLATION 0
+#endif
+
+namespace unikv {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int BalanceLocked() const REQUIRES(mu_) { return balance_; }
+
+  int UnguardedRead() const NO_THREAD_SAFETY_ANALYSIS { return balance_; }
+
+  mutable Mutex mu_;
+
+ private:
+  int balance_ GUARDED_BY(mu_) = 0;
+
+#if UNIKV_TSA_VIOLATION == 1
+ public:
+  // Reads the guarded field with no lock held.
+  int Race() const { return balance_; }
+#endif
+};
+
+#if UNIKV_TSA_VIOLATION == 2
+// Calls a REQUIRES(mu_) accessor without acquiring the mutex.
+inline int CallWithoutLock(const Account& a) { return a.BalanceLocked(); }
+#endif
+
+#if UNIKV_TSA_VIOLATION == 3
+// Acquires manually and returns while still holding.
+inline void LeakLock(Account& a) {
+  a.mu_.Lock();
+  a.Deposit(0);  // Also an EXCLUDES violation, but the leak alone errors.
+}
+#endif
+
+#if UNIKV_TSA_VIOLATION == 4
+// Re-enters an EXCLUDES(mu_) method while holding mu_ — the deadlock
+// shape the annotation exists to forbid.
+inline void Reenter(Account& a) {
+  MutexLock lock(&a.mu_);
+  a.Deposit(1);
+}
+#endif
+
+#if UNIKV_TSA_VIOLATION == 5
+// Releases a mutex that was never acquired.
+inline void DoubleRelease(Account& a) { a.mu_.Unlock(); }
+#endif
+
+inline int Use() {
+  Account a;
+  a.Deposit(1);
+  return a.UnguardedRead();
+}
+
+}  // namespace unikv

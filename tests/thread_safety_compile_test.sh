@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Proves the thread-safety gate rejects what it claims to reject.
+#
+# Compiles thread_safety_compile_fixture.cc with clang's thread-safety
+# analysis once per violation class: the clean variant (0) must compile,
+# every violation variant must NOT. Exits 77 (ctest SKIP) when clang++
+# is unavailable — gcc parses the annotations away, so there is nothing
+# to prove there.
+set -u
+
+SRC_DIR="$(cd "$(dirname "$0")" && pwd)"
+REPO_ROOT="$(dirname "$SRC_DIR")"
+FIXTURE="$SRC_DIR/thread_safety_compile_fixture.cc"
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "SKIP: clang++ not found; thread-safety negative-compile test needs it"
+  exit 77
+fi
+
+compile() {
+  clang++ -std=c++20 -fsyntax-only -I "$REPO_ROOT/src" \
+      -Wthread-safety -Werror=thread-safety \
+      -DUNIKV_TSA_VIOLATION="$1" "$FIXTURE" 2>&1
+}
+
+fail=0
+
+if out=$(compile 0); then
+  echo "OK: violation 0 (clean) compiles"
+else
+  echo "FAIL: the clean variant must compile under -Werror=thread-safety:"
+  echo "$out"
+  fail=1
+fi
+
+for v in 1 2 3 4 5; do
+  if out=$(compile "$v"); then
+    echo "FAIL: violation $v compiled — the analysis did not catch it"
+    fail=1
+  else
+    echo "OK: violation $v rejected"
+  fi
+done
+
+exit "$fail"
